@@ -1,0 +1,168 @@
+// Benchmarks regenerating each table and figure of the paper's evaluation
+// (run with `go test -bench=. -benchtime=1x`), plus per-scheme transaction
+// microbenchmarks. The figure benchmarks run the reduced (Quick) experiment
+// sizes; `cmd/hoopbench` runs the full-size versions.
+package hoopnvm
+
+import (
+	"io"
+	"testing"
+
+	"hoop/internal/engine"
+	"hoop/internal/harness"
+	"hoop/internal/workload"
+)
+
+func benchOpts() harness.Options { return harness.Options{Quick: true, Seed: 1} }
+
+// BenchmarkTableI renders the qualitative technique comparison.
+func BenchmarkTableI(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		harness.RenderTableI(io.Discard)
+	}
+}
+
+// BenchmarkFigure7a regenerates the throughput comparison (Figures 7a, 7b,
+// 8 and 9 share the same runs; this bench produces the matrix once per
+// iteration and reports HOOP's throughput gain over Opt-Redo).
+func BenchmarkFigure7a(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		m, err := harness.RunMatrixOn(benchOpts(),
+			[]workload.Workload{workload.HashMapWL(64), workload.RBTreeWL(64)},
+			engine.AllSchemes)
+		if err != nil {
+			b.Fatal(err)
+		}
+		h := harness.ComputeHeadline(m)
+		b.ReportMetric(h.ThroughputGainVs[engine.SchemeRedo]*100, "%gain-vs-redo")
+	}
+}
+
+// BenchmarkFigure7b regenerates the critical-path latency comparison.
+func BenchmarkFigure7b(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		m, err := harness.RunMatrixOn(benchOpts(),
+			[]workload.Workload{workload.QueueWL(64)}, engine.AllSchemes)
+		if err != nil {
+			b.Fatal(err)
+		}
+		g := harness.Figure7b(m)
+		b.ReportMetric(g.Cell("queue-64", engine.SchemeHOOP), "hoop-latency-vs-ideal")
+	}
+}
+
+// BenchmarkFigure8 regenerates the write-traffic comparison.
+func BenchmarkFigure8(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		m, err := harness.RunMatrixOn(benchOpts(),
+			[]workload.Workload{workload.Vector(64)}, engine.AllSchemes)
+		if err != nil {
+			b.Fatal(err)
+		}
+		g := harness.Figure8(m)
+		b.ReportMetric(g.Cell("vector-64", engine.SchemeRedo)/g.Cell("vector-64", engine.SchemeHOOP), "redo-vs-hoop-traffic")
+	}
+}
+
+// BenchmarkFigure9 regenerates the energy comparison.
+func BenchmarkFigure9(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		m, err := harness.RunMatrixOn(benchOpts(),
+			[]workload.Workload{workload.BTreeWL(64)}, engine.AllSchemes)
+		if err != nil {
+			b.Fatal(err)
+		}
+		g := harness.Figure9(m)
+		b.ReportMetric(g.Cell("btree-64", engine.SchemeHOOP), "hoop-energy-vs-ideal")
+	}
+}
+
+// BenchmarkTableIV regenerates the GC data-reduction table.
+func BenchmarkTableIV(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		g, err := harness.TableIV(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(g.Cells[len(g.Rows)-1][1], "%reduction-hashmap-max")
+	}
+}
+
+// BenchmarkFigure10 regenerates the GC-period sweep.
+func BenchmarkFigure10(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		g, err := harness.Figure10(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(g.ColMean(g.Cols[3]), "tput-at-8ms-vs-2ms")
+	}
+}
+
+// BenchmarkFigure11 regenerates the recovery-scaling grid.
+func BenchmarkFigure11(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		g, _, err := harness.Figure11(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(g.Cell("8", "25GB/s"), "ms-8thr-25GBps")
+	}
+}
+
+// BenchmarkFigure12 regenerates the NVM-latency sensitivity sweep.
+func BenchmarkFigure12(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		g, err := harness.Figure12(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(g.Cells[0][0]/g.Cells[0][len(g.Cols)-1], "tput-50ns-over-250ns")
+	}
+}
+
+// BenchmarkFigure13 regenerates the mapping-table size sweep.
+func BenchmarkFigure13(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		g, err := harness.Figure13(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(g.Cells[0][len(g.Cols)-1], "tput-largest-vs-smallest")
+	}
+}
+
+// Per-scheme transaction microbenchmarks: hashmap-64 transactions through
+// the full simulated machine. b.N counts committed transactions.
+func benchScheme(b *testing.B, scheme string) {
+	old := workload.Tuning
+	workload.Tuning.SynKeys = 2048
+	defer func() { workload.Tuning = old }()
+	cfg := engine.DefaultConfig(scheme)
+	cfg.Cores, cfg.Threads, cfg.Cache.Cores = 4, 4, 4
+	cfg.Ctrl.Agents = 6
+	cfg.NVM.Capacity = 8 << 30
+	cfg.OOPBytes = 256 << 20
+	cfg.Hoop.CommitLogBytes = 8 << 20
+	sys, err := engine.New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	runners := workload.HashMapWL(64).Runners(sys, 1)
+	sys.ResetMemoryQueues()
+	b.ResetTimer()
+	sys.Run(runners, b.N)
+	b.StopTimer()
+	span := sys.MaxClock()
+	if span > 0 {
+		b.ReportMetric(float64(sys.TxCount())/span.Seconds()/1e6, "sim-Mtx/s")
+	}
+}
+
+func BenchmarkTxHOOP(b *testing.B)    { benchScheme(b, engine.SchemeHOOP) }
+func BenchmarkTxOptRedo(b *testing.B) { benchScheme(b, engine.SchemeRedo) }
+func BenchmarkTxOptUndo(b *testing.B) { benchScheme(b, engine.SchemeUndo) }
+func BenchmarkTxOSP(b *testing.B)     { benchScheme(b, engine.SchemeOSP) }
+func BenchmarkTxLSM(b *testing.B)     { benchScheme(b, engine.SchemeLSM) }
+func BenchmarkTxLAD(b *testing.B)     { benchScheme(b, engine.SchemeLAD) }
+func BenchmarkTxIdeal(b *testing.B)   { benchScheme(b, engine.SchemeNative) }

@@ -1,0 +1,54 @@
+// Command hoopbench regenerates the HOOP paper's evaluation: every table
+// and figure of §IV, rendered as text. By default it runs the full-size
+// experiments (a few minutes); -quick shrinks them to seconds.
+//
+// Usage:
+//
+//	hoopbench [-quick] [-seed N] [-sections tables,fig7-9,tableIV,fig10,fig11,fig12,fig13,area]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"hoop/internal/harness"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "run reduced-size experiments (seconds instead of minutes)")
+	seed := flag.Uint64("seed", 1, "experiment PRNG seed")
+	charts := flag.Bool("charts", false, "also render each grid as ASCII bar charts")
+	artifacts := flag.String("artifacts", "", "directory to write per-figure JSON artifacts into")
+	sections := flag.String("sections", strings.Join(harness.AllSections, ","),
+		"comma-separated experiment sections to run (extras: "+strings.Join(harness.ExtraSections, ", ")+")")
+	flag.Parse()
+
+	opts := harness.Options{Quick: *quick, Seed: *seed, Charts: *charts, ArtifactDir: *artifacts}
+	var secs []string
+	for _, s := range strings.Split(*sections, ",") {
+		s = strings.TrimSpace(s)
+		if s == "" {
+			continue
+		}
+		known := false
+		for _, k := range append(harness.AllSections, harness.ExtraSections...) {
+			if s == k {
+				known = true
+			}
+		}
+		if !known {
+			fmt.Fprintf(os.Stderr, "unknown section %q (known: %s)\n", s,
+				strings.Join(append(harness.AllSections, harness.ExtraSections...), ", "))
+			os.Exit(2)
+		}
+		secs = append(secs, s)
+	}
+
+	fmt.Printf("HOOP reproduction benchmark harness (quick=%v, seed=%d)\n", *quick, *seed)
+	if _, err := harness.RunSections(os.Stdout, opts, secs); err != nil {
+		fmt.Fprintf(os.Stderr, "hoopbench: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,90 @@
+// Command hoopsim runs one workload on one persistence scheme and prints
+// the measured metrics plus the raw counter dump — the single-configuration
+// probe for exploring the simulator.
+//
+// Usage:
+//
+//	hoopsim [-scheme HOOP] [-workload hashmap-64] [-txs 20000] [-threads 8] [-seed 1] [-stats]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hoop/internal/engine"
+	"hoop/internal/sim"
+	"hoop/internal/workload"
+)
+
+func main() {
+	scheme := flag.String("scheme", engine.SchemeHOOP, "persistence scheme (HOOP, Opt-Redo, Opt-Undo, OSP, LSM, LAD, Ideal)")
+	wlName := flag.String("workload", "hashmap-64", "workload name from Table III (e.g. vector-64, ycsb-1k, tpcc)")
+	txs := flag.Int("txs", 20000, "transactions to execute")
+	threads := flag.Int("threads", 8, "workload threads")
+	seed := flag.Uint64("seed", 1, "workload PRNG seed")
+	dumpStats := flag.Bool("stats", false, "dump every raw counter")
+	flag.Parse()
+
+	var wl workload.Workload
+	found := false
+	for _, w := range append(workload.PaperSuite(), workload.LargeItemSuite()...) {
+		if w.Name == *wlName {
+			wl = w
+			found = true
+		}
+	}
+	if !found {
+		fmt.Fprintf(os.Stderr, "unknown workload %q; available:\n", *wlName)
+		for _, w := range append(workload.PaperSuite(), workload.LargeItemSuite()...) {
+			fmt.Fprintf(os.Stderr, "  %s\n", w.Name)
+		}
+		os.Exit(2)
+	}
+
+	cfg := engine.DefaultConfig(*scheme)
+	cfg.Threads = *threads
+	sys, err := engine.New(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hoopsim: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("scheme=%s workload=%s threads=%d txs=%d\n", *scheme, wl.Name, *threads, *txs)
+	fmt.Printf("device: %v\n", sys.Device())
+
+	runners := wl.Runners(sys, *seed)
+	setupTx := sys.TxCount()
+	fmt.Printf("setup: %d transactions\n", setupTx)
+	sys.ResetMemoryQueues()
+
+	start := sys.MaxClock()
+	startW := sys.Stats().Get("nvm.bytes_written")
+	startLat := sys.TxLatencySum()
+	sys.Run(runners, *txs)
+	span := sys.MaxClock() - start
+
+	txsDone := sys.TxCount() - setupTx
+	fmt.Printf("\nresults over %d transactions:\n", txsDone)
+	fmt.Printf("  simulated span     %v\n", span)
+	fmt.Printf("  throughput         %.3f M tx/s\n", float64(txsDone)/span.Seconds()/1e6)
+	fmt.Printf("  avg tx latency     %v\n", (sys.TxLatencySum()-startLat)/sim.Duration(spanDiv(txsDone)))
+	h := sys.TxLatencyHistogram()
+	fmt.Printf("  latency p50/p90/p99 %v / %v / %v (all txs incl. setup)\n",
+		h.Quantile(0.5), h.Quantile(0.9), h.Quantile(0.99))
+	fmt.Printf("  NVM bytes written  %d (%.0f per tx)\n",
+		sys.Stats().Get("nvm.bytes_written")-startW,
+		float64(sys.Stats().Get("nvm.bytes_written")-startW)/float64(txsDone))
+	fmt.Printf("  NVM energy         %.1f uJ\n", sys.Device().TotalEnergyPJ()/1e6)
+	loads, stores := sys.Ops()
+	fmt.Printf("  ops                %d loads, %d stores\n", loads, stores)
+	if *dumpStats {
+		fmt.Printf("\ncounters:\n%s", sys.Stats().String())
+	}
+}
+
+func spanDiv(n int64) (d int64) {
+	if n == 0 {
+		return 1
+	}
+	return n
+}

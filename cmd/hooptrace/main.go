@@ -1,0 +1,157 @@
+// Command hooptrace records, inspects, and replays memory-operation
+// traces — the Pin-trace workflow of the paper's platform, native to this
+// simulator.
+//
+//	hooptrace record -workload tpcc -txs 5000 -o tpcc.trc
+//	hooptrace dump   -i tpcc.trc [-n 50]
+//	hooptrace replay -i tpcc.trc -scheme Opt-Undo
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"hoop/internal/engine"
+	"hoop/internal/sim"
+	"hoop/internal/trace"
+	"hoop/internal/workload"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "record":
+		record(os.Args[2:])
+	case "dump":
+		dump(os.Args[2:])
+	case "replay":
+		replay(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: hooptrace {record|dump|replay} [flags]")
+	os.Exit(2)
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "hooptrace: %v\n", err)
+	os.Exit(1)
+}
+
+func findWorkload(name string) (workload.Workload, bool) {
+	for _, w := range append(workload.PaperSuite(), workload.LargeItemSuite()...) {
+		if w.Name == name {
+			return w, true
+		}
+	}
+	return workload.Workload{}, false
+}
+
+func record(args []string) {
+	fs := flag.NewFlagSet("record", flag.ExitOnError)
+	wlName := fs.String("workload", "hashmap-64", "Table III workload to trace")
+	txs := fs.Int("txs", 5000, "transactions to record (setup transactions are recorded too)")
+	out := fs.String("o", "workload.trc", "output trace file")
+	seed := fs.Uint64("seed", 1, "workload PRNG seed")
+	fs.Parse(args)
+
+	wl, ok := findWorkload(*wlName)
+	if !ok {
+		fatal(fmt.Errorf("unknown workload %q", *wlName))
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	rec := trace.NewRecorder(f)
+
+	sys, err := engine.New(engine.DefaultConfig(engine.SchemeNative))
+	if err != nil {
+		fatal(err)
+	}
+	sys.SetTracer(rec)
+	runners := wl.Runners(sys, *seed)
+	sys.Run(runners, *txs)
+	if err := rec.Flush(); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("recorded %d ops (%d transactions incl. setup) to %s\n",
+		rec.Count(), sys.TxCount(), *out)
+}
+
+func dump(args []string) {
+	fs := flag.NewFlagSet("dump", flag.ExitOnError)
+	in := fs.String("i", "workload.trc", "input trace file")
+	n := fs.Int("n", 40, "ops to print (0 = all)")
+	fs.Parse(args)
+
+	f, err := os.Open(*in)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	r := trace.NewReader(f)
+	var total, loads, stores, txs int64
+	for i := 0; ; i++ {
+		op, err := r.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			fatal(err)
+		}
+		total++
+		switch op.Kind {
+		case trace.OpLoad:
+			loads++
+		case trace.OpStore:
+			stores++
+		case trace.OpTxEnd:
+			txs++
+		}
+		if *n == 0 || i < *n {
+			fmt.Println(op)
+		}
+	}
+	if *n != 0 && total > int64(*n) {
+		fmt.Printf("... (%d more ops)\n", total-int64(*n))
+	}
+	fmt.Printf("summary: %d ops, %d txs, %d loads, %d stores\n", total, txs, loads, stores)
+}
+
+func replay(args []string) {
+	fs := flag.NewFlagSet("replay", flag.ExitOnError)
+	in := fs.String("i", "workload.trc", "input trace file")
+	scheme := fs.String("scheme", engine.SchemeHOOP, "persistence scheme to replay against")
+	fs.Parse(args)
+
+	f, err := os.Open(*in)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	sys, err := engine.New(engine.DefaultConfig(*scheme))
+	if err != nil {
+		fatal(err)
+	}
+	txs, err := trace.Replay(sys, f)
+	if err != nil {
+		fatal(err)
+	}
+	span := sys.MaxClock()
+	fmt.Printf("replayed %d transactions on %s\n", txs, *scheme)
+	fmt.Printf("  simulated span    %v\n", span)
+	if txs > 0 && span > 0 {
+		fmt.Printf("  throughput        %.3f M tx/s\n", float64(txs)/span.Seconds()/1e6)
+		fmt.Printf("  avg tx latency    %v\n", sys.TxLatencySum()/sim.Duration(txs))
+	}
+	fmt.Printf("  NVM bytes written %d\n", sys.Stats().Get("nvm.bytes_written"))
+}

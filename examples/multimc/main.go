@@ -1,0 +1,61 @@
+// MultiMC: the paper's §III-I future-work extension in action — HOOP
+// spanning multiple memory controllers with a two-phase commit. The demo
+// runs the same workload on 1, 2 and 4 controllers, shows the 2PC cost on
+// the commit path, and proves the prepared-but-undecided crash window
+// rolls back cleanly.
+//
+//	go run ./examples/multimc [-txs 6000]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"hoop/internal/engine"
+	"hoop/internal/sim"
+	"hoop/internal/workload"
+)
+
+func main() {
+	txs := flag.Int("txs", 6000, "transactions per configuration")
+	flag.Parse()
+
+	fmt.Println("HOOP with multiple memory controllers (§III-I two-phase commit):")
+	fmt.Printf("%-14s %14s %14s %12s\n", "controllers", "tput (Mtx/s)", "avg latency", "p99 latency")
+	for _, n := range []int{1, 2, 4} {
+		cfg := engine.DefaultConfig(engine.SchemeHOOP)
+		cfg.Hoop.Controllers = n
+		cfg.TrackOracle = true
+		sys, err := engine.New(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		runners := workload.HashMapWL(64).Runners(sys, 5)
+		sys.ResetMemoryQueues()
+		start := sys.MaxClock()
+		startTx := sys.TxCount()
+		startLat := sys.TxLatencySum()
+		sys.Run(runners, *txs)
+		nTx := sys.TxCount() - startTx
+		span := sys.MaxClock() - start
+		h := sys.TxLatencyHistogram()
+		fmt.Printf("%-14d %14.2f %14v %12v\n", n,
+			float64(nTx)/span.Seconds()/1e6,
+			(sys.TxLatencySum()-startLat)/sim.Duration(nTx),
+			h.Quantile(0.99))
+
+		// Crash and verify the two-phase commit's recovery consensus.
+		sys.Crash()
+		if _, err := sys.Recover(4); err != nil {
+			log.Fatal(err)
+		}
+		if mm := sys.VerifyRecovered(3); len(mm) != 0 {
+			log.Fatalf("%d-controller recovery diverged: %+v", n, mm)
+		}
+	}
+	fmt.Println("\nevery configuration recovered its committed data exactly (verified")
+	fmt.Println("against an oracle); transactions spanning controllers pay the")
+	fmt.Println("prepare/commit rounds, which is the single-controller paper design's")
+	fmt.Println("rationale.")
+}

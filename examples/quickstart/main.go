@@ -1,0 +1,91 @@
+// Quickstart: build a simulated NVM system protected by HOOP, run
+// failure-atomic transactions against a persistent hashmap, crash the
+// machine mid-run, and recover — showing that exactly the committed data
+// survives.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hoop/internal/engine"
+	"hoop/internal/pmem"
+	"hoop/internal/structures"
+)
+
+func main() {
+	// A small machine: 4 cores, 4 GB NVM with a 128 MB OOP region.
+	cfg := engine.DefaultConfig(engine.SchemeHOOP)
+	cfg.Cores, cfg.Threads, cfg.Cache.Cores = 4, 1, 4
+	cfg.Ctrl.Agents = cfg.Cores + 2
+	cfg.NVM.Capacity = 4 << 30
+	cfg.OOPBytes = 128 << 20
+	cfg.Hoop.CommitLogBytes = 1 << 20
+	sys, err := engine.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Every thread gets an environment: the load/store interface into the
+	// simulated memory hierarchy.
+	env := sys.NewEnv(0)
+	arena := pmem.NewArena(env, pmem.Partition(sys.Layout().Home, 1)[0])
+
+	// Create a persistent hashmap inside a transaction.
+	env.TxBegin()
+	arena.Init()
+	users := structures.NewHashMap(env, arena, 64, 64)
+	env.TxEnd()
+
+	record := func(name string) []byte {
+		b := make([]byte, 64)
+		copy(b, name)
+		return b
+	}
+
+	// Committed transactions.
+	env.TxBegin()
+	users.Put(1, record("alice"))
+	users.Put(2, record("bob"))
+	env.TxEnd()
+
+	env.TxBegin()
+	users.Put(2, record("bob v2"))
+	env.TxEnd()
+
+	// A transaction that never commits: the crash will erase it.
+	env.TxBegin()
+	users.Put(1, record("ALICE CORRUPTED"))
+	users.Put(3, record("carol (uncommitted)"))
+	fmt.Println("power failure strikes mid-transaction...")
+	sys.Crash()
+
+	d, err := sys.Recover(4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("recovered in %v (modeled, 4 threads)\n\n", d)
+
+	// Inspect the recovered state: committed data intact, uncommitted gone.
+	// (The hashmap handle reads through the same environment; after
+	// recovery the logical view holds exactly the committed image.)
+	buf := make([]byte, 64)
+	for _, key := range []uint64{1, 2, 3} {
+		if users.Get(key, buf) {
+			fmt.Printf("user %d: %q\n", key, trim(buf))
+		} else {
+			fmt.Printf("user %d: <not present>\n", key)
+		}
+	}
+	fmt.Printf("\ntransactions committed: %d, simulated time: %v\n", sys.TxCount(), sys.MaxClock())
+}
+
+func trim(b []byte) string {
+	n := 0
+	for n < len(b) && b[n] != 0 {
+		n++
+	}
+	return string(b[:n])
+}

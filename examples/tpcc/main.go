@@ -1,0 +1,62 @@
+// TPCC: run the paper's most write-intensive real-world workload — TPC-C
+// new-order transactions (§IV-A) — under HOOP, with a crash injected
+// mid-run and verified recovery, then print HOOP's internal statistics
+// (slices packed, GC coalescing, mapping-table behaviour).
+//
+//	go run ./examples/tpcc [-txs 8000]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"hoop/internal/engine"
+	"hoop/internal/hoop"
+	"hoop/internal/sim"
+	"hoop/internal/workload"
+)
+
+func main() {
+	txs := flag.Int("txs", 8000, "new-order transactions to run")
+	flag.Parse()
+
+	cfg := engine.DefaultConfig(engine.SchemeHOOP)
+	cfg.TrackOracle = true
+	sys, err := engine.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	runners := workload.TPCC().Runners(sys, 7)
+	setupTx := sys.TxCount()
+	sys.ResetMemoryQueues()
+
+	fmt.Printf("running %d TPC-C new-order transactions on HOOP (8 warehouses/threads)...\n", *txs)
+	sys.Run(runners, *txs)
+	n := sys.TxCount() - setupTx
+	span := sys.MaxClock()
+	hs := sys.Scheme().(*hoop.Scheme)
+	hs.ForceGC(sys.MaxClock())
+
+	fmt.Printf("\n  committed:        %d new-order transactions\n", n)
+	fmt.Printf("  throughput:       %.2f M tx/s\n", float64(n)/span.Seconds()/1e6)
+	fmt.Printf("  avg latency:      %v\n", sys.AvgTxLatency())
+	st := sys.Stats()
+	fmt.Printf("  memory slices:    %d packed (%.2f per tx)\n",
+		st.Get(sim.StatSliceFlushes), float64(st.Get(sim.StatSliceFlushes))/float64(sys.TxCount()))
+	fmt.Printf("  GC runs:          %d (%d on demand)\n", st.Get(sim.StatGCRuns), st.Get(sim.StatGCOnDemand))
+	fmt.Printf("  GC coalescing:    %.1f%% of modified bytes never re-written home\n", hs.DataReduction()*100)
+	fmt.Printf("  mapping table:    %d live entries, %d hits / %d misses\n",
+		hs.MappingTableLen(), st.Get(sim.StatMapHits), st.Get(sim.StatMapMisses))
+
+	fmt.Println("\ninjecting power failure and recovering with 8 threads...")
+	sys.Crash()
+	d, err := sys.Recover(8)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if mm := sys.VerifyRecovered(3); len(mm) != 0 {
+		log.Fatalf("recovery diverged from committed data: %+v", mm)
+	}
+	fmt.Printf("recovered in %v (modeled); all committed new-order data verified intact.\n", d)
+}

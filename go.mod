@@ -1,0 +1,3 @@
+module hoop
+
+go 1.22

@@ -1,0 +1,74 @@
+// Package native implements the paper's "Ideal" comparison point: a system
+// with no persistence guarantee at all. Stores cost nothing beyond the
+// cache hierarchy, transactions have no commit work, and dirty lines write
+// back in place when evicted. It upper-bounds throughput and lower-bounds
+// critical-path latency and write traffic (Figures 7–9 normalize to it).
+package native
+
+import (
+	"hoop/internal/cache"
+	"hoop/internal/mem"
+	"hoop/internal/persist"
+	"hoop/internal/sim"
+)
+
+// Scheme is the no-persistence baseline.
+type Scheme struct {
+	ctx   persist.Context
+	alloc persist.TxnAllocator
+}
+
+// New builds the native scheme.
+func New(ctx persist.Context) *Scheme { return &Scheme{ctx: ctx} }
+
+// Name implements persist.Scheme.
+func (s *Scheme) Name() string { return "Ideal" }
+
+// Properties implements persist.Scheme. The native system provides no
+// durability, so the Table I attributes describe its raw behaviour.
+func (s *Scheme) Properties() persist.Properties {
+	return persist.Properties{ReadLatency: "Low", OnCriticalPath: false, NeedFlushFence: false, WriteTraffic: "Low"}
+}
+
+// TxBegin implements persist.Scheme.
+func (s *Scheme) TxBegin(core int, now sim.Time) (persist.TxID, sim.Time) {
+	return s.alloc.Next(), now
+}
+
+// Store implements persist.Scheme: no persistence work at all.
+func (s *Scheme) Store(core int, tx persist.TxID, addr mem.PAddr, val []byte, now sim.Time) sim.Time {
+	return now
+}
+
+// TxEnd implements persist.Scheme: commits are free.
+func (s *Scheme) TxEnd(core int, tx persist.TxID, now sim.Time) sim.Time {
+	s.ctx.Stats.Inc(sim.StatTxCommitted)
+	return now
+}
+
+// ReadMiss implements persist.Scheme: always read the home region.
+func (s *Scheme) ReadMiss(core int, addr mem.PAddr, now sim.Time) (sim.Time, bool) {
+	return s.ctx.Ctrl.Read(mem.LineAddr(addr), mem.LineSize, now), false
+}
+
+// Evict implements persist.Scheme: ordinary in-place writeback.
+func (s *Scheme) Evict(core int, ev cache.Eviction, now sim.Time) sim.Time {
+	lineAddr := mem.LineAddr(ev.Line)
+	var buf [mem.LineSize]byte
+	s.ctx.View.Read(lineAddr, buf[:])
+	s.ctx.Dev.Store().Write(lineAddr, buf[:])
+	s.ctx.Ctrl.PostWrite(core, lineAddr, mem.LineSize, now)
+	return now
+}
+
+// Tick implements persist.Scheme.
+func (s *Scheme) Tick(now sim.Time) {}
+
+// Crash implements persist.Scheme. The native system loses whatever was in
+// the caches — that is precisely why it is not crash consistent.
+func (s *Scheme) Crash() { s.ctx.Ctrl.ResetPending() }
+
+// Recover implements persist.Scheme: there is nothing to recover with; the
+// home region is left in whatever (possibly inconsistent) state the crash
+// produced.
+func (s *Scheme) Recover(threads int) (sim.Duration, error) { return 0, nil }

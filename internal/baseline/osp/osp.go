@@ -1,0 +1,295 @@
+// Package osp implements the OSP comparison point, modeled on SSP (Ni et
+// al., HotStorage'18/MICRO'19 [38,39]): optimized shadow paging at
+// cache-line granularity. Every virtual cache line is backed by two
+// physical lines; a transaction writes the inactive copy, eagerly flushes
+// it at commit, and atomically flips a durable current-copy bit. The
+// commit-time line flushes and the TLB shootdowns needed to keep the
+// remapping coherent across cores are the costs the paper measures; page
+// consolidation (copying shadow-current lines back to their primary
+// locations) adds the scheme's extra write traffic.
+package osp
+
+import (
+	"sort"
+
+	"hoop/internal/cache"
+	"hoop/internal/mem"
+	"hoop/internal/persist"
+	"hoop/internal/sim"
+)
+
+// shadowBase maps a home line to its shadow twin: shadow(x) = shadowBase+x.
+// The shadow space sits above the simulated DIMM's address range; a real
+// SSP pairs lines inside the device, but only the traffic and latency of
+// the accesses matter to the evaluation.
+const shadowBase mem.PAddr = 1 << 41
+
+// Timing constants.
+const (
+	// shootdownCost is the TLB-shootdown penalty per committing
+	// transaction (IPIs to the other cores plus invalidations).
+	shootdownCost = 600 * sim.Nanosecond
+	// shootdownPerPage adds cost per additional page remapped.
+	shootdownPerPage = 60 * sim.Nanosecond
+	// consolidationPeriod is how often shadow-current lines are copied
+	// back to their primary location.
+	consolidationPeriod = 10 * sim.Millisecond
+	// consolidationBatch bounds lines consolidated per pass.
+	consolidationBatch = 4096
+)
+
+// Scheme is the optimized-shadow-paging baseline.
+type Scheme struct {
+	ctx   persist.Context
+	alloc persist.TxnAllocator
+
+	bitmapBase mem.PAddr
+	txLines    []map[uint64]struct{}
+	// shadowCur mirrors the durable bitmap: lines whose current copy is
+	// the shadow one.
+	shadowCur map[uint64]struct{}
+	nextCons  sim.Time
+	consAgent int
+}
+
+// New builds the scheme. The durable current-copy bitmap occupies the head
+// of the layout's OOP region (1 bit per home line).
+func New(ctx persist.Context) *Scheme {
+	return &Scheme{
+		ctx:        ctx,
+		bitmapBase: ctx.Layout.OOP.Base,
+		txLines:    make([]map[uint64]struct{}, ctx.Cores),
+		shadowCur:  make(map[uint64]struct{}),
+		nextCons:   consolidationPeriod,
+		consAgent:  ctx.Cores + 1,
+	}
+}
+
+// Name implements persist.Scheme.
+func (s *Scheme) Name() string { return "OSP" }
+
+// Properties implements persist.Scheme (Table I, SSP row).
+func (s *Scheme) Properties() persist.Properties {
+	return persist.Properties{ReadLatency: "Low", OnCriticalPath: true, NeedFlushFence: true, WriteTraffic: "Low"}
+}
+
+func (s *Scheme) bitAddr(line uint64) (mem.PAddr, byte) {
+	return s.bitmapBase + mem.PAddr(line>>3), byte(1 << (line & 7))
+}
+
+func (s *Scheme) isShadowCurrent(line uint64) bool {
+	_, ok := s.shadowCur[line]
+	return ok
+}
+
+// setCurrent durably records which copy of line is current and keeps the
+// volatile mirror in sync. It returns the bitmap byte address so callers
+// can account the write.
+func (s *Scheme) setCurrent(line uint64, shadow bool) mem.PAddr {
+	at, mask := s.bitAddr(line)
+	var b [1]byte
+	s.ctx.Dev.Store().Read(at, b[:])
+	if shadow {
+		b[0] |= mask
+		s.shadowCur[line] = struct{}{}
+	} else {
+		b[0] &^= mask
+		delete(s.shadowCur, line)
+	}
+	s.ctx.Dev.Store().Write(at, b[:])
+	return at
+}
+
+// currentAddr returns the physical address of line's current copy.
+func (s *Scheme) currentAddr(line uint64) mem.PAddr {
+	home := mem.PAddr(line << mem.LineShift)
+	if s.isShadowCurrent(line) {
+		return shadowBase + home
+	}
+	return home
+}
+
+// inactiveAddr returns the physical address of line's inactive copy.
+func (s *Scheme) inactiveAddr(line uint64) mem.PAddr {
+	home := mem.PAddr(line << mem.LineShift)
+	if s.isShadowCurrent(line) {
+		return home
+	}
+	return shadowBase + home
+}
+
+// TxBegin implements persist.Scheme.
+func (s *Scheme) TxBegin(core int, now sim.Time) (persist.TxID, sim.Time) {
+	s.txLines[core] = make(map[uint64]struct{}, 16)
+	return s.alloc.Next(), now
+}
+
+// Store implements persist.Scheme: track the write set; data is written at
+// commit via copy-on-write to the inactive lines.
+func (s *Scheme) Store(core int, tx persist.TxID, addr mem.PAddr, val []byte, now sim.Time) sim.Time {
+	for _, w := range persist.WordsOf(addr, val) {
+		s.txLines[core][mem.LineIndex(w.Addr)] = struct{}{}
+	}
+	return now
+}
+
+// TxEnd implements persist.Scheme: eagerly flush each updated line to its
+// inactive copy, drain, durably flip the current-copy bits (8-byte bitmap
+// words cover 64 lines each), and pay the TLB shootdown for the remapping.
+func (s *Scheme) TxEnd(core int, tx persist.TxID, now sim.Time) sim.Time {
+	lines := make([]uint64, 0, len(s.txLines[core]))
+	for l := range s.txLines[core] {
+		lines = append(lines, l)
+	}
+	sort.Slice(lines, func(i, j int) bool { return lines[i] < lines[j] })
+	var buf [mem.LineSize]byte
+	pages := make(map[uint64]struct{}, 4)
+	bitWords := make(map[mem.PAddr]struct{}, 4)
+	for _, l := range lines {
+		lineAddr := mem.PAddr(l << mem.LineShift)
+		target := s.inactiveAddr(l)
+		s.ctx.View.Read(lineAddr, buf[:])
+		s.ctx.Dev.Store().Write(target, buf[:])
+		s.ctx.Ctrl.PostWrite(core, target, mem.LineSize, now)
+		// The eager flush leaves the cached copy clean — its data is
+		// durable in the (about-to-be-current) shadow copy.
+		s.ctx.Hier.FlushLine(lineAddr, false)
+		pages[l>>6] = struct{}{} // 64 lines per 4 KB page
+	}
+	if len(lines) > 0 {
+		now = s.ctx.Ctrl.Drain(core, now)
+		for _, l := range lines {
+			at := s.setCurrent(l, !s.isShadowCurrent(l))
+			bitWords[at&^7] = struct{}{}
+		}
+		bws := make([]mem.PAddr, 0, len(bitWords))
+		for at := range bitWords {
+			bws = append(bws, at)
+		}
+		sort.Slice(bws, func(i, j int) bool { return bws[i] < bws[j] })
+		for _, at := range bws {
+			now = s.ctx.Ctrl.Write(at, 8, now)
+		}
+		now += shootdownCost + shootdownPerPage*sim.Duration(len(pages)-1)
+	}
+	s.txLines[core] = nil
+	s.ctx.Stats.Inc(sim.StatTxCommitted)
+	return now
+}
+
+// ReadMiss implements persist.Scheme: read whichever physical copy is
+// current (the remapping itself is free — it lives in the TLB).
+func (s *Scheme) ReadMiss(core int, addr mem.PAddr, now sim.Time) (sim.Time, bool) {
+	line := mem.LineIndex(addr)
+	return s.ctx.Ctrl.Read(s.currentAddr(line), mem.LineSize, now), false
+}
+
+// Evict implements persist.Scheme. A transactional line evicted mid-
+// transaction performs its copy-on-write early (to the inactive copy);
+// other dirty lines write back to the current copy.
+func (s *Scheme) Evict(core int, ev cache.Eviction, now sim.Time) sim.Time {
+	line := mem.LineIndex(ev.Line)
+	lineAddr := mem.LineAddr(ev.Line)
+	var buf [mem.LineSize]byte
+	s.ctx.View.Read(lineAddr, buf[:])
+	target := s.currentAddr(line)
+	if ev.Persistent {
+		target = s.inactiveAddr(line)
+	}
+	s.ctx.Dev.Store().Write(target, buf[:])
+	s.ctx.Ctrl.PostWrite(core, target, mem.LineSize, now)
+	return now
+}
+
+// Tick implements persist.Scheme: periodic page consolidation copies
+// shadow-current lines back to their primary location so that page-level
+// operations (and reads of cold data) do not fragment across copies.
+func (s *Scheme) Tick(now sim.Time) {
+	for s.nextCons <= now {
+		s.consolidate(s.nextCons, consolidationBatch)
+		s.nextCons += consolidationPeriod
+	}
+}
+
+// ForceConsolidate runs consolidation over every shadow-current line
+// (harness: close a measurement window with the scheme's deferred copy
+// traffic accounted).
+func (s *Scheme) ForceConsolidate(now sim.Time) {
+	for len(s.shadowCur) > 0 {
+		s.consolidate(now, consolidationBatch)
+	}
+}
+
+func (s *Scheme) consolidate(now sim.Time, batch int) {
+	lines := make([]uint64, 0, len(s.shadowCur))
+	for l := range s.shadowCur {
+		lines = append(lines, l)
+		if len(lines) >= batch {
+			break
+		}
+	}
+	sort.Slice(lines, func(i, j int) bool { return lines[i] < lines[j] })
+	var buf [mem.LineSize]byte
+	for _, l := range lines {
+		home := mem.PAddr(l << mem.LineShift)
+		s.ctx.Dev.Store().Read(shadowBase+home, buf[:])
+		s.ctx.Ctrl.Read(shadowBase+home, mem.LineSize, now)
+		s.ctx.Dev.Store().Write(home, buf[:])
+		s.ctx.Ctrl.Write(home, mem.LineSize, now)
+		at := s.setCurrent(l, false)
+		s.ctx.Ctrl.PostWrite(s.consAgent, at, 8, now)
+	}
+}
+
+// Crash implements persist.Scheme: the TLB remappings and volatile mirror
+// vanish; the durable bitmap survives.
+func (s *Scheme) Crash() {
+	for i := range s.txLines {
+		s.txLines[i] = nil
+	}
+	s.shadowCur = make(map[uint64]struct{})
+	s.ctx.Ctrl.ResetPending()
+}
+
+// Recover implements persist.Scheme: rebuild from the durable current-copy
+// bitmap and consolidate every shadow-current line into the home region so
+// the home region holds exactly the committed data.
+func (s *Scheme) Recover(threads int) (sim.Duration, error) {
+	store := s.ctx.Dev.Store()
+	bitmapEnd := s.bitmapBase + mem.PAddr(s.ctx.Layout.Home.Lines()/8) + 1
+	var consolidated int64
+	var scanned int64
+	var buf [mem.LineSize]byte
+	store.ForEachPage(func(base mem.PAddr, data []byte) {
+		if base+mem.PageSize <= s.bitmapBase || base >= bitmapEnd {
+			return
+		}
+		scanned += mem.PageSize
+		for off, b := range data {
+			if b == 0 {
+				continue
+			}
+			at := base + mem.PAddr(off)
+			if at < s.bitmapBase || at >= bitmapEnd {
+				continue
+			}
+			for bit := 0; bit < 8; bit++ {
+				if b&(1<<uint(bit)) == 0 {
+					continue
+				}
+				line := (uint64(at-s.bitmapBase) << 3) | uint64(bit)
+				home := mem.PAddr(line << mem.LineShift)
+				store.Read(shadowBase+home, buf[:])
+				store.Write(home, buf[:])
+				consolidated += mem.LineSize
+			}
+		}
+	})
+	// Clear the bitmap durably.
+	store.ZeroRange(s.bitmapBase, uint64(bitmapEnd-s.bitmapBase))
+	s.shadowCur = make(map[uint64]struct{})
+	bw := s.ctx.Dev.Params().Bandwidth
+	modeled := sim.Duration(1*sim.Millisecond) +
+		sim.Duration((scanned+2*consolidated)*int64(sim.Second)/bw)
+	return modeled, nil
+}

@@ -1,0 +1,265 @@
+// Package schemetest drives each comparison scheme directly (no engine) to
+// verify the crash-consistency contract every one of them must uphold:
+// after Crash+Recover, the home region holds exactly the committed data.
+package schemetest
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"hoop/internal/baseline/lad"
+	"hoop/internal/baseline/lsm"
+	"hoop/internal/baseline/osp"
+	"hoop/internal/baseline/redo"
+	"hoop/internal/baseline/undo"
+	"hoop/internal/cache"
+	"hoop/internal/mem"
+	"hoop/internal/memctrl"
+	"hoop/internal/nvm"
+	"hoop/internal/persist"
+	"hoop/internal/sim"
+)
+
+func newCtx(t *testing.T, cores int) persist.Context {
+	t.Helper()
+	stats := sim.NewStats()
+	store := mem.NewStore()
+	params := nvm.DefaultParams()
+	params.Capacity = 2 << 30
+	dev := nvm.NewDevice(params, store, stats)
+	return persist.Context{
+		Cores: cores,
+		Layout: mem.Layout{
+			Home: mem.Region{Base: 0, Size: 1 << 30},
+			OOP:  mem.Region{Base: 1 << 30, Size: 64 << 20},
+		},
+		Dev:   dev,
+		Ctrl:  memctrl.New(memctrl.DefaultConfig(cores+2), dev),
+		Hier:  cache.New(cache.DefaultConfig(cores), stats),
+		Stats: stats,
+		View:  mem.NewStore(),
+	}
+}
+
+func build(t *testing.T, name string, ctx persist.Context) persist.Scheme {
+	t.Helper()
+	switch name {
+	case "undo":
+		s, err := undo.New(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	case "redo":
+		s, err := redo.New(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	case "lsm":
+		s, err := lsm.New(ctx, lsm.DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	case "osp":
+		return osp.New(ctx)
+	case "lad":
+		return lad.New(ctx)
+	}
+	t.Fatalf("unknown scheme %q", name)
+	return nil
+}
+
+var schemeNames = []string{"undo", "redo", "lsm", "osp", "lad"}
+
+// runTx performs one transaction of word writes through the scheme,
+// mirroring stores into the view first (the engine's ordering contract:
+// View is updated after Scheme.Store).
+func runTx(s persist.Scheme, ctx persist.Context, core int, words map[mem.PAddr]uint64) {
+	tx, now := s.TxBegin(core, 0)
+	for a, v := range words {
+		var buf [8]byte
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(v >> (8 * uint(i)))
+		}
+		now = s.Store(core, tx, a, buf[:], now)
+		ctx.View.Write(a, buf[:])
+	}
+	s.TxEnd(core, tx, now)
+}
+
+func TestCommittedSurvivesCrash(t *testing.T) {
+	for _, name := range schemeNames {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			ctx := newCtx(t, 2)
+			s := build(t, name, ctx)
+			oracle := map[mem.PAddr]uint64{}
+			r := sim.NewRand(11)
+			for i := 0; i < 150; i++ {
+				words := map[mem.PAddr]uint64{}
+				for j := 0; j < 1+r.Intn(10); j++ {
+					words[mem.PAddr(r.Intn(2048))*8] = r.Uint64()
+				}
+				runTx(s, ctx, i%2, words)
+				for a, v := range words {
+					oracle[a] = v
+				}
+				s.Tick(sim.Time(i) * sim.Microsecond)
+			}
+			s.Crash()
+			if _, err := s.Recover(2); err != nil {
+				t.Fatal(err)
+			}
+			for a, v := range oracle {
+				if got := ctx.Dev.Store().ReadWord(a); got != v {
+					t.Fatalf("word %v = %#x, want %#x", a, got, v)
+				}
+			}
+		})
+	}
+}
+
+func TestUncommittedIsRolledBack(t *testing.T) {
+	for _, name := range schemeNames {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			ctx := newCtx(t, 1)
+			s := build(t, name, ctx)
+			// Commit a base value.
+			runTx(s, ctx, 0, map[mem.PAddr]uint64{0x100: 1})
+			// Open a transaction that writes but never commits; include an
+			// eviction so steal-policy schemes write uncommitted data in
+			// place.
+			tx, now := s.TxBegin(0, 0)
+			var buf [8]byte
+			buf[0] = 0xAB
+			now = s.Store(0, tx, 0x100, buf[:], now)
+			ctx.View.Write(0x100, buf[:])
+			s.Evict(0, cache.Eviction{Line: 0x100, Persistent: true}, now)
+			s.Crash()
+			if _, err := s.Recover(1); err != nil {
+				t.Fatal(err)
+			}
+			if got := ctx.Dev.Store().ReadWord(0x100); got != 1 {
+				t.Fatalf("uncommitted data visible after recovery: %#x", got)
+			}
+		})
+	}
+}
+
+func TestQuickRandomCrashAllSchemes(t *testing.T) {
+	for _, name := range schemeNames {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			f := func(seed uint64) bool {
+				ctx := newCtx(t, 2)
+				s := build(t, name, ctx)
+				r := sim.NewRand(seed)
+				oracle := map[mem.PAddr]uint64{}
+				for i := 0; i < 10+r.Intn(40); i++ {
+					words := map[mem.PAddr]uint64{}
+					for j := 0; j < 1+r.Intn(6); j++ {
+						words[mem.PAddr(r.Intn(512))*8] = r.Uint64()
+					}
+					runTx(s, ctx, i%2, words)
+					for a, v := range words {
+						oracle[a] = v
+					}
+					if r.Bool(0.2) {
+						line := mem.PAddr(r.Intn(512)) * 8
+						s.Evict(0, cache.Eviction{Line: mem.LineAddr(line), Persistent: r.Bool(0.7)}, 0)
+					}
+				}
+				s.Crash()
+				if _, err := s.Recover(1 + r.Intn(3)); err != nil {
+					return false
+				}
+				for a, v := range oracle {
+					if ctx.Dev.Store().ReadWord(a) != v {
+						return false
+					}
+				}
+				return true
+			}
+			if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestSchemePropertiesPopulated(t *testing.T) {
+	for _, name := range schemeNames {
+		ctx := newCtx(t, 1)
+		s := build(t, name, ctx)
+		p := s.Properties()
+		if p.ReadLatency == "" || p.WriteTraffic == "" {
+			t.Errorf("%s: empty properties", name)
+		}
+		if s.Name() == "" {
+			t.Errorf("%s: empty name", name)
+		}
+	}
+}
+
+func TestUndoCriticalPathExceedsRedo(t *testing.T) {
+	// Undo's log-before-data ordering charges per first-touch line during
+	// the transaction; redo defers everything to commit. For the same
+	// write set, undo's in-transaction time must be longer.
+	elapsed := func(name string) sim.Duration {
+		ctx := newCtx(t, 1)
+		s := build(t, name, ctx)
+		tx, now := s.TxBegin(0, 0)
+		start := now
+		var buf [8]byte
+		for i := 0; i < 16; i++ {
+			now = s.Store(0, tx, mem.PAddr(i)*mem.LineSize, buf[:], now)
+		}
+		return now - start
+	}
+	if elapsed("undo") <= elapsed("redo") {
+		t.Fatal("undo stores must carry ordering cost on the critical path")
+	}
+}
+
+func TestLSMLoadOverheadGrowsWithIndex(t *testing.T) {
+	ctx := newCtx(t, 1)
+	s := build(t, "lsm", ctx).(*lsm.Scheme)
+	small := s.LoadOverhead(0, 0x100, 0)
+	for i := 0; i < 20000; i++ {
+		runTx(s, ctx, 0, map[mem.PAddr]uint64{mem.PAddr(i) * 8: 1})
+	}
+	big := s.LoadOverhead(0, 0x100, 0)
+	if big <= small {
+		t.Fatalf("index lookup cost must grow with N: %v -> %v", small, big)
+	}
+}
+
+func TestLADSpillOnLargeTx(t *testing.T) {
+	ctx := newCtx(t, 1)
+	s := build(t, "lad", ctx)
+	before := ctx.Stats.Get(sim.StatNVMBytesWritten)
+	// 100 distinct lines exceed the 64-line queue: spills must appear
+	// before commit.
+	tx, now := s.TxBegin(0, 0)
+	var buf [8]byte
+	for i := 0; i < 100; i++ {
+		now = s.Store(0, tx, mem.PAddr(i)*mem.LineSize, buf[:], now)
+		ctx.View.Write(mem.PAddr(i)*mem.LineSize, buf[:])
+	}
+	preCommit := ctx.Stats.Get(sim.StatNVMBytesWritten)
+	if preCommit == before {
+		t.Fatal("oversized transaction should have spilled to NVM before commit")
+	}
+	s.TxEnd(0, tx, now)
+}
+
+func ExampleScheme_names() {
+	ctx := persist.Context{}
+	_ = ctx
+	fmt.Println("Opt-Undo Opt-Redo OSP LSM LAD")
+	// Output: Opt-Undo Opt-Redo OSP LSM LAD
+}

@@ -1,0 +1,285 @@
+// Package engine assembles the full simulated system — cores, cache
+// hierarchy, memory controller, NVM device, and one persistence scheme —
+// and executes transactional workloads against it. It is the reproduction
+// of the paper's McSimA+ + NVM-simulator platform at operation-level
+// timing fidelity.
+//
+// The engine is deterministic: workload threads are interleaved by always
+// running the thread with the smallest simulated clock, shared-resource
+// contention (NVM banks, channel bandwidth, GC interference) is resolved
+// through reservation times, and all randomness comes from seeded PRNGs.
+package engine
+
+import (
+	"fmt"
+
+	"hoop/internal/baseline/lad"
+	"hoop/internal/baseline/lsm"
+	"hoop/internal/baseline/native"
+	"hoop/internal/baseline/osp"
+	"hoop/internal/baseline/redo"
+	"hoop/internal/baseline/undo"
+	"hoop/internal/cache"
+	"hoop/internal/hoop"
+	"hoop/internal/mem"
+	"hoop/internal/memctrl"
+	"hoop/internal/nvm"
+	"hoop/internal/persist"
+	"hoop/internal/sim"
+)
+
+// Scheme names accepted by Config.Scheme, matching the paper's figures.
+const (
+	SchemeHOOP   = "HOOP"
+	SchemeRedo   = "Opt-Redo"
+	SchemeUndo   = "Opt-Undo"
+	SchemeOSP    = "OSP"
+	SchemeLSM    = "LSM"
+	SchemeLAD    = "LAD"
+	SchemeNative = "Ideal"
+)
+
+// AllSchemes lists every scheme in the order the paper's figures use.
+var AllSchemes = []string{SchemeRedo, SchemeUndo, SchemeOSP, SchemeLSM, SchemeLAD, SchemeHOOP, SchemeNative}
+
+// CPUFreq is the simulated core frequency (Table II).
+const CPUFreq = 2_500_000_000
+
+// Config describes one simulated system.
+type Config struct {
+	Cores   int
+	Threads int
+	Scheme  string
+
+	Cache cache.Config
+	NVM   nvm.Params
+	Ctrl  memctrl.Config
+
+	// OOPBytes sizes the OOP/log region; zero means 10% of capacity
+	// (§III-H).
+	OOPBytes uint64
+
+	Hoop hoop.Config
+	LSM  lsm.Config
+
+	// TrackOracle records committed writes into a shadow store so crash
+	// tests can verify recovery; costs memory, off by default.
+	TrackOracle bool
+
+	// OpCost is the computation time charged per load/store operation for
+	// the non-memory instructions surrounding it (hashing, comparisons,
+	// pointer arithmetic, function calls). The paper's McSimA+ platform
+	// simulates the full instruction stream; this constant stands in for
+	// it at operation granularity.
+	OpCost sim.Duration
+}
+
+// DefaultConfig returns the paper's Table II system running workload with
+// eight threads (§IV-A).
+func DefaultConfig(scheme string) Config {
+	const cores = 16
+	return Config{
+		Cores:   cores,
+		Threads: 8,
+		Scheme:  scheme,
+		Cache:   cache.DefaultConfig(cores),
+		NVM:     nvm.DefaultParams(),
+		Ctrl:    memctrl.DefaultConfig(cores + 2), // cores + GC + checkpoint agents
+		Hoop:    hoop.DefaultConfig(),
+		LSM:     lsm.DefaultConfig(),
+		OpCost:  25 * sim.Nanosecond,
+	}
+}
+
+// writeRec is one committed-oracle record.
+type writeRec struct {
+	addr mem.PAddr
+	data []byte
+}
+
+// Tracer observes every operation the engine executes; see
+// internal/trace for a binary recorder. Tracing is off unless SetTracer
+// is called.
+type Tracer interface {
+	TraceTxBegin(thread int)
+	TraceTxEnd(thread int)
+	TraceLoad(thread int, addr mem.PAddr, size int)
+	TraceStore(thread int, addr mem.PAddr, data []byte)
+}
+
+// System is one fully wired simulated machine.
+type System struct {
+	cfg    Config
+	stats  *sim.Stats
+	store  *mem.Store
+	view   *mem.Store
+	oracle *mem.Store
+	layout mem.Layout
+	dev    *nvm.Device
+	ctrl   *memctrl.Controller
+	hier   *cache.Hierarchy
+	scheme persist.Scheme
+	hook   persist.LoadHook
+	tracer Tracer
+
+	clocks   []*sim.Clock
+	txID     []persist.TxID
+	txOpen   []bool
+	txBegan  []sim.Time
+	txWrites [][]writeRec
+
+	txLatSum  sim.Duration
+	txLatHist sim.Histogram
+	txCount   int64
+	loadOps   int64
+	storeOps  int64
+	crashed   bool
+}
+
+// New builds a system for cfg.
+func New(cfg Config) (*System, error) {
+	if cfg.Threads < 1 || cfg.Threads > cfg.Cores {
+		return nil, fmt.Errorf("engine: threads must be in [1, cores=%d], got %d", cfg.Cores, cfg.Threads)
+	}
+	stats := sim.NewStats()
+	store := mem.NewStore()
+	oop := cfg.OOPBytes
+	if oop == 0 {
+		oop = cfg.NVM.Capacity / 10
+	}
+	if oop >= cfg.NVM.Capacity {
+		return nil, fmt.Errorf("engine: OOP region (%d) must be smaller than capacity (%d)", oop, cfg.NVM.Capacity)
+	}
+	home := (cfg.NVM.Capacity - oop) &^ uint64(mem.LineSize-1)
+	layout := mem.Layout{
+		Home: mem.Region{Base: 0, Size: home},
+		OOP:  mem.Region{Base: mem.PAddr(home), Size: oop &^ uint64(mem.LineSize-1)},
+	}
+	dev := nvm.NewDevice(cfg.NVM, store, stats)
+	ctrl := memctrl.New(cfg.Ctrl, dev)
+	hier := cache.New(cfg.Cache, stats)
+	view := mem.NewStore()
+	ctx := persist.Context{
+		Cores:  cfg.Cores,
+		Layout: layout,
+		Dev:    dev,
+		Ctrl:   ctrl,
+		Hier:   hier,
+		Stats:  stats,
+		View:   view,
+	}
+	var scheme persist.Scheme
+	var err error
+	switch cfg.Scheme {
+	case SchemeHOOP:
+		scheme, err = hoop.New(ctx, cfg.Hoop)
+	case SchemeRedo:
+		scheme, err = redo.New(ctx)
+	case SchemeUndo:
+		scheme, err = undo.New(ctx)
+	case SchemeOSP:
+		scheme = osp.New(ctx)
+	case SchemeLSM:
+		scheme, err = lsm.New(ctx, cfg.LSM)
+	case SchemeLAD:
+		scheme = lad.New(ctx)
+	case SchemeNative:
+		scheme = native.New(ctx)
+	default:
+		return nil, fmt.Errorf("engine: unknown scheme %q", cfg.Scheme)
+	}
+	if err != nil {
+		return nil, err
+	}
+	s := &System{
+		cfg:      cfg,
+		stats:    stats,
+		store:    store,
+		view:     view,
+		layout:   layout,
+		dev:      dev,
+		ctrl:     ctrl,
+		hier:     hier,
+		scheme:   scheme,
+		clocks:   make([]*sim.Clock, cfg.Threads),
+		txID:     make([]persist.TxID, cfg.Threads),
+		txOpen:   make([]bool, cfg.Threads),
+		txBegan:  make([]sim.Time, cfg.Threads),
+		txWrites: make([][]writeRec, cfg.Threads),
+	}
+	if cfg.TrackOracle {
+		s.oracle = mem.NewStore()
+	}
+	if h, ok := scheme.(persist.LoadHook); ok {
+		s.hook = h
+	}
+	for i := range s.clocks {
+		s.clocks[i] = sim.NewClock(CPUFreq)
+	}
+	return s, nil
+}
+
+// Accessors used by the harness and tests.
+
+// Config reports the system configuration.
+func (s *System) Config() Config { return s.cfg }
+
+// Stats exposes the counter registry.
+func (s *System) Stats() *sim.Stats { return s.stats }
+
+// Scheme exposes the persistence scheme (e.g. to reach HOOP-specific
+// methods like DataReduction).
+func (s *System) Scheme() persist.Scheme { return s.scheme }
+
+// Device exposes the NVM device (energy, wear, sensitivity knobs).
+func (s *System) Device() *nvm.Device { return s.dev }
+
+// Layout reports the home/OOP split.
+func (s *System) Layout() mem.Layout { return s.layout }
+
+// Durable exposes the NVM contents (for recovery verification).
+func (s *System) Durable() *mem.Store { return s.store }
+
+// View exposes the volatile logical memory image.
+func (s *System) View() *mem.Store { return s.view }
+
+// Oracle exposes the committed-writes shadow store (nil unless
+// TrackOracle).
+func (s *System) Oracle() *mem.Store { return s.oracle }
+
+// Clock reports thread t's current simulated time.
+func (s *System) Clock(t int) sim.Time { return s.clocks[t].Now() }
+
+// MaxClock reports the latest thread clock (the wall-clock span of the run).
+func (s *System) MaxClock() sim.Time {
+	var m sim.Time
+	for _, c := range s.clocks {
+		m = sim.MaxTime(m, c.Now())
+	}
+	return m
+}
+
+// TxCount reports committed transactions executed through the engine.
+func (s *System) TxCount() int64 { return s.txCount }
+
+// TxLatencySum reports the summed critical-path latency of all committed
+// transactions (Tx_begin to durable Tx_end, §IV-C).
+func (s *System) TxLatencySum() sim.Duration { return s.txLatSum }
+
+// TxLatencyHistogram exposes the distribution of per-transaction
+// critical-path latencies (log-bucketed; see sim.Histogram).
+func (s *System) TxLatencyHistogram() *sim.Histogram { return &s.txLatHist }
+
+// AvgTxLatency reports the mean critical-path latency.
+func (s *System) AvgTxLatency() sim.Duration {
+	if s.txCount == 0 {
+		return 0
+	}
+	return s.txLatSum / sim.Duration(s.txCount)
+}
+
+// SetTracer installs (or, with nil, removes) an operation tracer.
+func (s *System) SetTracer(t Tracer) { s.tracer = t }
+
+// Ops reports load and store operation counts.
+func (s *System) Ops() (loads, stores int64) { return s.loadOps, s.storeOps }

@@ -1,0 +1,183 @@
+package engine
+
+import (
+	"fmt"
+
+	"hoop/internal/mem"
+	"hoop/internal/sim"
+)
+
+// Env is the memory interface handed to workload code. Every access is
+// word-aligned (the pmem layer guarantees this) and is simulated through
+// the cache hierarchy and the persistence scheme before the functional
+// value is returned from the logical view.
+type Env struct {
+	sys    *System
+	thread int
+	core   int
+}
+
+// NewEnv binds an environment to thread t (thread t runs on core t).
+func (s *System) NewEnv(t int) *Env {
+	if t < 0 || t >= s.cfg.Threads {
+		panic(fmt.Sprintf("engine: thread %d out of range", t))
+	}
+	return &Env{sys: s, thread: t, core: t}
+}
+
+// Thread reports the environment's thread index.
+func (e *Env) Thread() int { return e.thread }
+
+// Now reports the thread's simulated time.
+func (e *Env) Now() sim.Time { return e.sys.clocks[e.thread].Now() }
+
+// TxBegin opens a failure-atomic region (the paper's Tx_begin).
+func (e *Env) TxBegin() {
+	s := e.sys
+	if s.txOpen[e.thread] {
+		panic("engine: nested transactions are not supported")
+	}
+	if s.tracer != nil {
+		s.tracer.TraceTxBegin(e.thread)
+	}
+	clk := s.clocks[e.thread]
+	// Background machinery (GC, checkpointing) catches up between
+	// transactions.
+	s.scheme.Tick(clk.Now())
+	clk.AdvanceCycles(2) // set transaction state bit
+	tx, t := s.scheme.TxBegin(e.core, clk.Now())
+	clk.AdvanceTo(t)
+	s.txID[e.thread] = tx
+	s.txOpen[e.thread] = true
+	s.txBegan[e.thread] = clk.Now()
+}
+
+// TxEnd commits the transaction; on return the updates are durable under
+// the scheme's guarantee.
+func (e *Env) TxEnd() {
+	s := e.sys
+	if !s.txOpen[e.thread] {
+		panic("engine: TxEnd without TxBegin")
+	}
+	if s.tracer != nil {
+		s.tracer.TraceTxEnd(e.thread)
+	}
+	clk := s.clocks[e.thread]
+	clk.AdvanceCycles(2) // clear transaction state bit / commit barrier
+	t := s.scheme.TxEnd(e.core, s.txID[e.thread], clk.Now())
+	clk.AdvanceTo(t)
+	s.txOpen[e.thread] = false
+	lat := clk.Now() - s.txBegan[e.thread]
+	s.txLatSum += lat
+	s.txLatHist.Observe(lat)
+	s.txCount++
+	if s.oracle != nil {
+		for _, w := range s.txWrites[e.thread] {
+			s.oracle.Write(w.addr, w.data)
+		}
+	}
+	s.txWrites[e.thread] = s.txWrites[e.thread][:0]
+}
+
+// InTx reports whether the thread has an open transaction.
+func (e *Env) InTx() bool { return e.sys.txOpen[e.thread] }
+
+// Read performs a load of len(buf) bytes at addr, filling buf with the
+// current logical contents. addr and len(buf) must be word-aligned.
+func (e *Env) Read(addr mem.PAddr, buf []byte) {
+	checkAligned(addr, len(buf))
+	s := e.sys
+	if s.tracer != nil {
+		s.tracer.TraceLoad(e.thread, addr, len(buf))
+	}
+	clk := s.clocks[e.thread]
+	clk.Advance(s.cfg.OpCost)
+	e.access(addr, len(buf), false)
+	if s.hook != nil {
+		clk.AdvanceTo(s.hook.LoadOverhead(e.core, addr, clk.Now()))
+	}
+	s.loadOps++
+	s.stats.Inc(sim.StatTxLoads)
+	s.view.Read(addr, buf)
+}
+
+// ReadWord loads the 8-byte word at addr.
+func (e *Env) ReadWord(addr mem.PAddr) uint64 {
+	var b [mem.WordSize]byte
+	e.Read(addr, b[:])
+	return leU64(b[:])
+}
+
+// Write performs a transactional store of data at addr. It must be called
+// inside a transaction; addr and len(data) must be word-aligned.
+func (e *Env) Write(addr mem.PAddr, data []byte) {
+	checkAligned(addr, len(data))
+	s := e.sys
+	if !s.txOpen[e.thread] {
+		panic("engine: store outside a transaction (wrap updates in TxBegin/TxEnd)")
+	}
+	if s.tracer != nil {
+		s.tracer.TraceStore(e.thread, addr, data)
+	}
+	clk := s.clocks[e.thread]
+	clk.Advance(s.cfg.OpCost)
+	e.access(addr, len(data), true)
+	t := s.scheme.Store(e.core, s.txID[e.thread], addr, data, clk.Now())
+	clk.AdvanceTo(t)
+	if s.oracle != nil {
+		cp := make([]byte, len(data))
+		copy(cp, data)
+		s.txWrites[e.thread] = append(s.txWrites[e.thread], writeRec{addr: addr, data: cp})
+	}
+	s.view.Write(addr, data)
+	s.storeOps++
+	s.stats.Inc(sim.StatTxStores)
+}
+
+// WriteWord stores the 8-byte word v at addr.
+func (e *Env) WriteWord(addr mem.PAddr, v uint64) {
+	var b [mem.WordSize]byte
+	putLE64(b[:], v)
+	e.Write(addr, b[:])
+}
+
+// access simulates the cache behaviour of touching [addr, addr+size).
+func (e *Env) access(addr mem.PAddr, size int, write bool) {
+	s := e.sys
+	clk := s.clocks[e.thread]
+	persistent := write && s.txOpen[e.thread]
+	for a := mem.LineAddr(addr); a < addr+mem.PAddr(size); a += mem.LineSize {
+		r := s.hier.Lookup(e.core, a, write, persistent)
+		clk.Advance(r.Latency)
+		if r.HitLevel != 0 {
+			continue
+		}
+		done, fillDirty := s.scheme.ReadMiss(e.core, a, clk.Now())
+		clk.AdvanceTo(done)
+		evs := s.hier.Fill(e.core, a, write || fillDirty, persistent || fillDirty)
+		for _, ev := range evs {
+			t := s.scheme.Evict(e.core, ev, clk.Now())
+			clk.AdvanceTo(t)
+		}
+	}
+}
+
+func checkAligned(addr mem.PAddr, n int) {
+	if !mem.IsWordAligned(addr) || n%mem.WordSize != 0 || n == 0 {
+		panic(fmt.Sprintf("engine: access must be word-aligned and non-empty (addr=%v, n=%d)", addr, n))
+	}
+}
+
+func leU64(b []byte) uint64 {
+	var v uint64
+	for i := 0; i < 8; i++ {
+		v |= uint64(b[i]) << (8 * i)
+	}
+	return v
+}
+
+func putLE64(b []byte, v uint64) {
+	for i := 0; i < 8; i++ {
+		b[i] = byte(v >> (8 * i))
+	}
+}

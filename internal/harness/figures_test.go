@@ -1,0 +1,157 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+
+	"hoop/internal/workload"
+)
+
+func quickOpts() Options { return Options{Quick: true, Seed: 1} }
+
+func TestTableIVReductionGrowsWithTxCount(t *testing.T) {
+	if testing.Short() {
+		t.Skip("seconds-long")
+	}
+	g, err := TableIV(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + g.String())
+	// For every workload, reduction at the largest count must exceed
+	// reduction at the smallest, and all values must be in [0, 100).
+	for j := range g.Cols {
+		first := g.Cells[0][j]
+		last := g.Cells[len(g.Rows)-1][j]
+		if first < 0 || first >= 100 || last < 0 || last >= 100 {
+			t.Errorf("%s: reductions out of range: %.1f .. %.1f", g.Cols[j], first, last)
+		}
+		if last <= first {
+			t.Errorf("%s: coalescing did not grow with tx count (%.1f%% -> %.1f%%)",
+				g.Cols[j], first, last)
+		}
+	}
+}
+
+func TestFigure10PeaksInTheMiddle(t *testing.T) {
+	if testing.Short() {
+		t.Skip("seconds-long")
+	}
+	g, err := Figure10(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + g.String())
+	// Averaged over workloads, some interior period must beat the 2 ms
+	// point (eager GC wastes bandwidth), i.e. the curve is not flat and
+	// not monotonically decreasing from the start.
+	better := false
+	for j := 1; j < len(g.Cols); j++ {
+		sum := 0.0
+		for i := range g.Rows {
+			sum += g.Cells[i][j]
+		}
+		if sum/float64(len(g.Rows)) > 1.02 {
+			better = true
+		}
+	}
+	if !better {
+		t.Error("no GC period beat the most-eager setting; expected a peak at moderate periods")
+	}
+}
+
+func TestFigure11RecoveryScales(t *testing.T) {
+	if testing.Short() {
+		t.Skip("seconds-long")
+	}
+	g, rep, err := Figure11(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + g.String())
+	if rep.CommittedTxs == 0 || rep.WordsRecovered == 0 {
+		t.Fatalf("recovery replayed nothing: %+v", rep)
+	}
+	// More bandwidth is never slower (same thread count).
+	for i := range g.Rows {
+		for j := 1; j < len(g.Cols); j++ {
+			if g.Cells[i][j] > g.Cells[i][j-1]+1e-9 {
+				t.Errorf("row %s: recovery slower at higher bandwidth (%f -> %f)",
+					g.Rows[i], g.Cells[i][j-1], g.Cells[i][j])
+			}
+		}
+	}
+	// More threads are never slower (same bandwidth).
+	for j := range g.Cols {
+		for i := 1; i < len(g.Rows); i++ {
+			if g.Cells[i][j] > g.Cells[i-1][j]+1e-9 {
+				t.Errorf("col %s: recovery slower with more threads", g.Cols[j])
+			}
+		}
+	}
+	// Scaling must saturate: at the highest bandwidth, 16 threads beat 1
+	// thread by a large factor.
+	last := len(g.Cols) - 1
+	if g.Cells[0][last] < 1.5*g.Cells[len(g.Rows)-1][last] {
+		t.Error("thread scaling too weak at high bandwidth")
+	}
+}
+
+func TestFigure12LatencyHurts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("seconds-long")
+	}
+	g, err := Figure12(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + g.String())
+	for i := range g.Rows {
+		if g.Cells[i][0] <= g.Cells[i][len(g.Cols)-1] {
+			t.Errorf("%s: throughput did not drop as latency grew", g.Rows[i])
+		}
+	}
+}
+
+func TestFigure13SmallTableHurts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("seconds-long")
+	}
+	g, err := Figure13(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + g.String())
+	// The largest table should be at least as good as the smallest, and
+	// small tables should have forced more on-demand GCs.
+	n := len(g.Cols) - 1
+	if g.Cells[0][n] < g.Cells[0][0] {
+		t.Error("larger mapping table should not lose to the smallest")
+	}
+	if g.Cells[1][0] < g.Cells[1][n] {
+		t.Error("smaller mapping table should trigger at least as many on-demand GCs")
+	}
+}
+
+func TestStaticTablesRender(t *testing.T) {
+	var b strings.Builder
+	RenderTableI(&b)
+	RenderTableIII(&b)
+	RenderArea(&b)
+	out := b.String()
+	for _, needle := range []string{"HOOP", "LSNVMM", "hashmap-64", "tpcc", "overhead"} {
+		if !strings.Contains(out, needle) {
+			t.Errorf("static tables missing %q", needle)
+		}
+	}
+	if len(workload.PaperSuite()) != 7 {
+		t.Errorf("paper suite must have 7 benchmarks")
+	}
+}
+
+func TestAreaOverheadNearPaper(t *testing.T) {
+	_, _, ovh := AreaOverhead(DefaultAreaConfig())
+	if ovh < 0.03 || ovh > 0.06 {
+		t.Errorf("area overhead %.2f%% far from the paper's 4.25%%", ovh*100)
+	}
+}

@@ -1,0 +1,259 @@
+package harness
+
+import (
+	"fmt"
+
+	"hoop/internal/baseline/lsm"
+	"hoop/internal/baseline/osp"
+	"hoop/internal/engine"
+	"hoop/internal/hoop"
+	"hoop/internal/sim"
+	"hoop/internal/workload"
+)
+
+// Matrix holds the shared (workload × scheme) measurement that Figures 7a,
+// 7b, 8 and 9 are all computed from — in the paper these come from the same
+// simulation runs.
+type Matrix struct {
+	Workloads []string
+	Schemes   []string
+	Cells     map[string]map[string]Metrics // workload -> scheme -> metrics
+}
+
+// buildSystem constructs a paper-default system with the given scheme,
+// applying mut (which may be nil) before construction.
+func buildSystem(scheme string, mut func(*engine.Config)) (*engine.System, error) {
+	cfg := engine.DefaultConfig(scheme)
+	if mut != nil {
+		mut(&cfg)
+	}
+	return engine.New(cfg)
+}
+
+// runCell executes txs transactions of w on a fresh system and returns the
+// measurement window (setup excluded; a final GC pass is forced so
+// migration traffic is accounted in every scheme's window).
+func runCell(schemeName string, w workload.Workload, txs int, seed uint64, mut func(*engine.Config)) (Metrics, error) {
+	sys, err := buildSystem(schemeName, mut)
+	if err != nil {
+		return Metrics{}, err
+	}
+	runners := w.Runners(sys, seed)
+	// Quiesce setup state (drain setup dirt, settle migration machinery)
+	// so the window measures steady-state transactions only; the quiesce
+	// burst itself must not backlog the window's first accesses.
+	sys.DrainCache()
+	forceGC(sys)
+	sys.ResetMemoryQueues()
+	sys.SyncClocks()
+	before := takeSnapshot(sys)
+	sys.Run(runners, txs)
+	// Close the window fairly: charge every scheme for its still-cached
+	// dirty data, then let migration machinery settle.
+	sys.DrainCache()
+	forceGC(sys)
+	return window(before, takeSnapshot(sys)), nil
+}
+
+// forceGC closes the measurement window for the schemes with background
+// migration machinery, charging their deferred traffic.
+func forceGC(sys *engine.System) {
+	switch s := sys.Scheme().(type) {
+	case *hoop.Scheme:
+		s.ForceGC(sys.MaxClock())
+	case *lsm.Scheme:
+		s.ForceGC(sys.MaxClock())
+	case *osp.Scheme:
+		s.ForceConsolidate(sys.MaxClock())
+	}
+	// Redo's checkpointer drains through Tick.
+	for i := 0; i < 64; i++ {
+		sys.Scheme().Tick(sys.MaxClock())
+	}
+}
+
+// RunMatrix measures every paper workload on every scheme.
+func RunMatrix(opts Options) (*Matrix, error) {
+	return RunMatrixOn(opts, workload.PaperSuite(), engine.AllSchemes)
+}
+
+// RunMatrixOn measures the given workloads on the given schemes.
+func RunMatrixOn(opts Options, workloads []workload.Workload, schemes []string) (*Matrix, error) {
+	m := &Matrix{Cells: map[string]map[string]Metrics{}}
+	for _, w := range workloads {
+		m.Workloads = append(m.Workloads, w.Name)
+		m.Cells[w.Name] = map[string]Metrics{}
+		for _, s := range schemes {
+			met, err := runCell(s, w, opts.txPerCell(), opts.Seed+1, nil)
+			if err != nil {
+				return nil, fmt.Errorf("harness: %s on %s: %w", w.Name, s, err)
+			}
+			m.Cells[w.Name][s] = met
+		}
+	}
+	m.Schemes = append(m.Schemes, schemes...)
+	return m, nil
+}
+
+// Figure7a renders normalized transaction throughput (Figure 7a: higher is
+// better, normalized to Opt-Redo as in the paper).
+func Figure7a(m *Matrix) *Grid {
+	g := &Grid{
+		Title:   "Figure 7a: transaction throughput (normalized to Opt-Redo; higher is better)",
+		RowName: "workload",
+		Rows:    m.Workloads,
+		Cols:    m.Schemes,
+	}
+	for _, w := range m.Workloads {
+		base := m.Cells[w][engine.SchemeRedo].Throughput()
+		row := make([]float64, len(m.Schemes))
+		for j, s := range m.Schemes {
+			row[j] = m.Cells[w][s].Throughput() / base
+		}
+		g.Cells = append(g.Cells, row)
+	}
+	return g
+}
+
+// Figure7b renders critical-path latency (Figure 7b: lower is better,
+// normalized to the native system).
+func Figure7b(m *Matrix) *Grid {
+	g := &Grid{
+		Title:   "Figure 7b: critical-path latency (normalized to Ideal; lower is better)",
+		RowName: "workload",
+		Rows:    m.Workloads,
+		Cols:    m.Schemes,
+	}
+	for _, w := range m.Workloads {
+		base := float64(m.Cells[w][engine.SchemeNative].AvgLatency())
+		row := make([]float64, len(m.Schemes))
+		for j, s := range m.Schemes {
+			row[j] = float64(m.Cells[w][s].AvgLatency()) / base
+		}
+		g.Cells = append(g.Cells, row)
+	}
+	return g
+}
+
+// Figure8 renders NVM write traffic per transaction (normalized to the
+// native system; lower is better).
+func Figure8(m *Matrix) *Grid {
+	g := &Grid{
+		Title:   "Figure 8: NVM write traffic per transaction (normalized to Ideal; lower is better)",
+		RowName: "workload",
+		Rows:    m.Workloads,
+		Cols:    m.Schemes,
+	}
+	for _, w := range m.Workloads {
+		base := m.Cells[w][engine.SchemeNative].WritesPerTx()
+		row := make([]float64, len(m.Schemes))
+		for j, s := range m.Schemes {
+			row[j] = m.Cells[w][s].WritesPerTx() / base
+		}
+		g.Cells = append(g.Cells, row)
+	}
+	return g
+}
+
+// Figure9 renders NVM energy per transaction (normalized to the native
+// system; lower is better).
+func Figure9(m *Matrix) *Grid {
+	g := &Grid{
+		Title:   "Figure 9: NVM energy per transaction (normalized to Ideal; lower is better)",
+		RowName: "workload",
+		Rows:    m.Workloads,
+		Cols:    m.Schemes,
+	}
+	for _, w := range m.Workloads {
+		base := m.Cells[w][engine.SchemeNative].EnergyPerTx()
+		row := make([]float64, len(m.Schemes))
+		for j, s := range m.Schemes {
+			row[j] = m.Cells[w][s].EnergyPerTx() / base
+		}
+		g.Cells = append(g.Cells, row)
+	}
+	return g
+}
+
+// Headline computes the paper's headline comparisons from a matrix: HOOP's
+// mean throughput improvement over each scheme, its mean latency reduction,
+// and its write-traffic ratios (the numbers quoted in §IV-B/C/D).
+type Headline struct {
+	ThroughputGainVs map[string]float64 // HOOP tput / scheme tput - 1
+	LatencyCutVs     map[string]float64 // 1 - HOOP latency / scheme latency
+	TrafficRatioOf   map[string]float64 // scheme bytes / HOOP bytes
+	VsIdealTput      float64            // HOOP tput / Ideal tput
+	VsIdealLatency   float64            // HOOP latency / Ideal latency
+}
+
+// ComputeHeadline derives the headline numbers.
+func ComputeHeadline(m *Matrix) Headline {
+	h := Headline{
+		ThroughputGainVs: map[string]float64{},
+		LatencyCutVs:     map[string]float64{},
+		TrafficRatioOf:   map[string]float64{},
+	}
+	for _, s := range m.Schemes {
+		if s == engine.SchemeHOOP {
+			continue
+		}
+		var tputR, latR, trafR []float64
+		for _, w := range m.Workloads {
+			hoopM := m.Cells[w][engine.SchemeHOOP]
+			otherM := m.Cells[w][s]
+			tputR = append(tputR, hoopM.Throughput()/otherM.Throughput())
+			latR = append(latR, float64(hoopM.AvgLatency())/float64(otherM.AvgLatency()))
+			trafR = append(trafR, otherM.WritesPerTx()/hoopM.WritesPerTx())
+		}
+		h.ThroughputGainVs[s] = geoMean(tputR) - 1
+		h.LatencyCutVs[s] = 1 - geoMean(latR)
+		h.TrafficRatioOf[s] = geoMean(trafR)
+	}
+	h.VsIdealTput = 1 + h.ThroughputGainVs[engine.SchemeNative]
+	h.VsIdealLatency = 1 / (1 - h.LatencyCutVs[engine.SchemeNative])
+	return h
+}
+
+// FormatHeadline renders the headline block.
+func FormatHeadline(h Headline) string {
+	order := []string{engine.SchemeRedo, engine.SchemeUndo, engine.SchemeOSP, engine.SchemeLSM, engine.SchemeLAD}
+	out := "HOOP headline numbers (geometric mean over all workloads):\n"
+	for _, s := range order {
+		out += fmt.Sprintf("  vs %-9s throughput %+6.1f%%   latency %+6.1f%% shorter   traffic ratio %.2fx\n",
+			s+":", h.ThroughputGainVs[s]*100, h.LatencyCutVs[s]*100, h.TrafficRatioOf[s])
+	}
+	out += fmt.Sprintf("  vs Ideal:    throughput %5.1f%% of ideal, latency %.2fx ideal\n",
+		h.VsIdealTput*100, h.VsIdealLatency)
+	return out
+}
+
+// ReadProfile computes the §IV-C read-path profile: memory loads per LLC
+// miss, the parallel-read fraction, and the LLC miss ratio, from a HOOP
+// cell's counters.
+type ReadProfile struct {
+	LoadsPerLLCMiss  float64
+	ParallelReadFrac float64
+	LLCMissRatio     float64
+	EvictBufHitFrac  float64
+}
+
+// ComputeReadProfile derives the profile from a HOOP measurement window.
+func ComputeReadProfile(met Metrics) ReadProfile {
+	c := met.Counters
+	mapHits := float64(c[sim.StatMapHits])
+	mapMisses := float64(c[sim.StatMapMisses])
+	parallel := float64(c[sim.StatParallelRead])
+	evb := float64(c[sim.StatEvictBufHits])
+	misses := mapHits + mapMisses
+	accesses := float64(c[sim.StatL1Hits] + c[sim.StatL2Hits] + c[sim.StatLLCHits] + c[sim.StatLLCMisses])
+	var p ReadProfile
+	if misses > 0 {
+		p.LoadsPerLLCMiss = (mapHits + parallel + (mapMisses - evb)) / misses
+		p.ParallelReadFrac = parallel / misses
+		p.EvictBufHitFrac = evb / misses
+	}
+	if accesses > 0 {
+		p.LLCMissRatio = float64(c[sim.StatLLCMisses]) / accesses
+	}
+	return p
+}

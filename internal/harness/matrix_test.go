@@ -1,0 +1,63 @@
+package harness
+
+import (
+	"testing"
+
+	"hoop/internal/engine"
+	"hoop/internal/workload"
+)
+
+// calibrationMatrix runs a reduced matrix used by several ordering tests.
+func calibrationMatrix(t *testing.T, workloads []workload.Workload) *Matrix {
+	t.Helper()
+	m, err := RunMatrixOn(Options{Quick: true, Seed: 1}, workloads, engine.AllSchemes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestMatrixOrderings(t *testing.T) {
+	if testing.Short() {
+		t.Skip("matrix run is seconds-long")
+	}
+	m := calibrationMatrix(t, workload.PaperSuite())
+	for _, w := range m.Workloads {
+		for _, s := range m.Schemes {
+			c := m.Cells[w][s]
+			t.Logf("%-12s %-9s lat=%-10v writes/tx=%-8.0f tput=%.2fM/s miss/tx=%.1f evict/tx=%.1f gc=%d ondemand=%d slices/tx=%.1f",
+				w, s, c.AvgLatency(), c.WritesPerTx(), c.Throughput()/1e6,
+				float64(c.Counters["cache.llc_misses"])/float64(c.Txs),
+				float64(c.Counters["cache.dirty_evictions"])/float64(c.Txs),
+				c.Counters["gc.runs"], c.Counters["gc.on_demand"],
+				float64(c.Counters["hoop.slice_flushes"])/float64(c.Txs))
+		}
+	}
+	t.Log("\n" + Figure7a(m).String())
+	t.Log("\n" + Figure7b(m).String())
+	t.Log("\n" + Figure8(m).String())
+	t.Log("\n" + Figure9(m).String())
+	t.Log("\n" + FormatHeadline(ComputeHeadline(m)))
+
+	h := ComputeHeadline(m)
+	// Paper's qualitative orderings (the quantitative targets live in
+	// EXPERIMENTS.md and the full bench run):
+	if h.ThroughputGainVs[engine.SchemeRedo] <= 0 {
+		t.Errorf("HOOP must out-throughput Opt-Redo (got %+.1f%%)", h.ThroughputGainVs[engine.SchemeRedo]*100)
+	}
+	if h.ThroughputGainVs[engine.SchemeUndo] <= 0 {
+		t.Errorf("HOOP must out-throughput Opt-Undo (got %+.1f%%)", h.ThroughputGainVs[engine.SchemeUndo]*100)
+	}
+	if h.LatencyCutVs[engine.SchemeUndo] <= 0 {
+		t.Errorf("HOOP must cut latency vs Opt-Undo (got %+.1f%%)", h.LatencyCutVs[engine.SchemeUndo]*100)
+	}
+	if h.TrafficRatioOf[engine.SchemeRedo] <= 1 {
+		t.Errorf("Opt-Redo must write more than HOOP (ratio %.2f)", h.TrafficRatioOf[engine.SchemeRedo])
+	}
+	if h.TrafficRatioOf[engine.SchemeUndo] <= 1 {
+		t.Errorf("Opt-Undo must write more than HOOP (ratio %.2f)", h.TrafficRatioOf[engine.SchemeUndo])
+	}
+	if h.VsIdealTput >= 1 {
+		t.Errorf("HOOP cannot beat Ideal throughput (%.2f)", h.VsIdealTput)
+	}
+}

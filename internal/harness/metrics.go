@@ -1,0 +1,251 @@
+// Package harness regenerates every table and figure of the HOOP paper's
+// evaluation (§IV): it builds simulated systems, runs the Table III
+// workloads on each persistence scheme, and renders the same rows and
+// series the paper reports. DESIGN.md maps each experiment to its
+// function here; EXPERIMENTS.md records paper-vs-measured values.
+package harness
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+
+	"hoop/internal/engine"
+	"hoop/internal/sim"
+)
+
+// Options scales the experiments.
+type Options struct {
+	// Quick shrinks transaction counts so the whole suite runs in
+	// seconds (used by tests); the full size matches the paper's
+	// steady-state windows.
+	Quick bool
+	// Seed feeds every workload PRNG.
+	Seed uint64
+	// Charts additionally renders each grid as ASCII bar charts.
+	Charts bool
+	// ArtifactDir, when non-empty, receives one JSON file per grid for
+	// downstream plotting.
+	ArtifactDir string
+}
+
+// txPerCell reports the measured transactions per (workload, scheme) cell.
+func (o Options) txPerCell() int {
+	if o.Quick {
+		return 1200
+	}
+	return 24000
+}
+
+// Metrics is one measurement window.
+type Metrics struct {
+	Txs          int64
+	Span         sim.Duration // wall-clock span of the window
+	LatencySum   sim.Duration
+	BytesWritten int64
+	BytesRead    int64
+	EnergyPJ     float64
+	Loads        int64
+	Stores       int64
+	Counters     map[string]int64
+}
+
+// Throughput reports transactions per simulated second.
+func (m Metrics) Throughput() float64 {
+	if m.Span <= 0 {
+		return 0
+	}
+	return float64(m.Txs) / m.Span.Seconds()
+}
+
+// AvgLatency reports mean critical-path latency per transaction.
+func (m Metrics) AvgLatency() sim.Duration {
+	if m.Txs == 0 {
+		return 0
+	}
+	return m.LatencySum / sim.Duration(m.Txs)
+}
+
+// WritesPerTx reports NVM bytes written per transaction.
+func (m Metrics) WritesPerTx() float64 {
+	if m.Txs == 0 {
+		return 0
+	}
+	return float64(m.BytesWritten) / float64(m.Txs)
+}
+
+// EnergyPerTx reports NVM energy per transaction in picojoules.
+func (m Metrics) EnergyPerTx() float64 {
+	if m.Txs == 0 {
+		return 0
+	}
+	return m.EnergyPJ / float64(m.Txs)
+}
+
+// snapshot captures a system's accumulated accounting.
+type snapshot struct {
+	counters map[string]int64
+	readPJ   float64
+	writePJ  float64
+	latSum   sim.Duration
+	txs      int64
+	span     sim.Time
+	loads    int64
+	stores   int64
+}
+
+func takeSnapshot(sys *engine.System) snapshot {
+	loads, stores := sys.Ops()
+	return snapshot{
+		counters: sys.Stats().Snapshot(),
+		readPJ:   sys.Device().ReadEnergyPJ(),
+		writePJ:  sys.Device().WriteEnergyPJ(),
+		latSum:   sys.TxLatencySum(),
+		txs:      sys.TxCount(),
+		span:     sys.MaxClock(),
+		loads:    loads,
+		stores:   stores,
+	}
+}
+
+// window computes the metrics between two snapshots.
+func window(before, after snapshot) Metrics {
+	counters := make(map[string]int64, len(after.counters))
+	for k, v := range after.counters {
+		counters[k] = v - before.counters[k]
+	}
+	return Metrics{
+		Txs:          after.txs - before.txs,
+		Span:         after.span - before.span,
+		LatencySum:   after.latSum - before.latSum,
+		BytesWritten: counters[sim.StatNVMBytesWritten],
+		BytesRead:    counters[sim.StatNVMBytesRead],
+		EnergyPJ:     (after.readPJ + after.writePJ) - (before.readPJ + before.writePJ),
+		Loads:        after.loads - before.loads,
+		Stores:       after.stores - before.stores,
+		Counters:     counters,
+	}
+}
+
+// Grid is a 2-D result table (rows × columns of float64 cells) with a
+// caption, used to render every figure as text.
+type Grid struct {
+	Title   string
+	RowName string
+	Rows    []string
+	Cols    []string
+	Cells   [][]float64
+	// Format formats one cell (default %.2f).
+	Format string
+}
+
+// Cell returns the value at (row, col) by name.
+func (g *Grid) Cell(row, col string) float64 {
+	ri, ci := -1, -1
+	for i, r := range g.Rows {
+		if r == row {
+			ri = i
+		}
+	}
+	for j, c := range g.Cols {
+		if c == col {
+			ci = j
+		}
+	}
+	if ri < 0 || ci < 0 {
+		panic(fmt.Sprintf("harness: no cell (%q, %q) in %q", row, col, g.Title))
+	}
+	return g.Cells[ri][ci]
+}
+
+// ColMean returns the arithmetic mean of a column.
+func (g *Grid) ColMean(col string) float64 {
+	ci := -1
+	for j, c := range g.Cols {
+		if c == col {
+			ci = j
+		}
+	}
+	if ci < 0 {
+		panic("harness: unknown column " + col)
+	}
+	sum := 0.0
+	for i := range g.Rows {
+		sum += g.Cells[i][ci]
+	}
+	return sum / float64(len(g.Rows))
+}
+
+// Render writes the grid as an aligned text table.
+func (g *Grid) Render(w io.Writer) {
+	format := g.Format
+	if format == "" {
+		format = "%.2f"
+	}
+	fmt.Fprintf(w, "%s\n", g.Title)
+	widths := make([]int, len(g.Cols)+1)
+	widths[0] = len(g.RowName)
+	for _, r := range g.Rows {
+		if len(r) > widths[0] {
+			widths[0] = len(r)
+		}
+	}
+	cells := make([][]string, len(g.Rows))
+	for i := range g.Rows {
+		cells[i] = make([]string, len(g.Cols))
+		for j := range g.Cols {
+			cells[i][j] = fmt.Sprintf(format, g.Cells[i][j])
+		}
+	}
+	for j, c := range g.Cols {
+		widths[j+1] = len(c)
+		for i := range g.Rows {
+			if len(cells[i][j]) > widths[j+1] {
+				widths[j+1] = len(cells[i][j])
+			}
+		}
+	}
+	line := func(parts []string) {
+		var b strings.Builder
+		for i, p := range parts {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], p)
+		}
+		fmt.Fprintln(w, strings.TrimRight(b.String(), " "))
+	}
+	header := append([]string{g.RowName}, g.Cols...)
+	line(header)
+	total := 0
+	for _, wd := range widths {
+		total += wd + 2
+	}
+	fmt.Fprintln(w, strings.Repeat("-", total-2))
+	for i, r := range g.Rows {
+		line(append([]string{r}, cells[i]...))
+	}
+}
+
+// String renders the grid to a string.
+func (g *Grid) String() string {
+	var b strings.Builder
+	g.Render(&b)
+	return b.String()
+}
+
+// geoMean computes the geometric mean of positive values.
+func geoMean(vals []float64) float64 {
+	if len(vals) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range vals {
+		if v <= 0 {
+			return 0
+		}
+		sum += math.Log(v)
+	}
+	return math.Exp(sum / float64(len(vals)))
+}

@@ -1,0 +1,130 @@
+package hoop
+
+import (
+	"testing"
+
+	"hoop/internal/mem"
+	"hoop/internal/persist"
+	"hoop/internal/sim"
+)
+
+// testSchemeCfg builds a scheme with a customized config.
+func testSchemeCfg(t *testing.T, mut func(*Config)) (*Scheme, persist.Context) {
+	t.Helper()
+	s, ctx := testScheme(t, 1)
+	cfg := s.cfg
+	mut(&cfg)
+	s2, err := New(ctx, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s2, ctx
+}
+
+func TestDisablePackingWritesOneSlicePerWord(t *testing.T) {
+	s, ctx := testSchemeCfg(t, func(c *Config) { c.DisablePacking = true })
+	writeTx(s, ctx, 0, map[mem.PAddr]uint64{
+		0x100: 1, 0x108: 2, 0x110: 3, 0x118: 4,
+	})
+	if got := ctx.Stats.Get(sim.StatSliceFlushes); got != 4 {
+		t.Fatalf("unpacked scheme flushed %d slices for 4 words, want 4", got)
+	}
+	// Packed scheme flushes one.
+	s2, ctx2 := testScheme(t, 1)
+	writeTx(s2, ctx2, 0, map[mem.PAddr]uint64{
+		0x100: 1, 0x108: 2, 0x110: 3, 0x118: 4,
+	})
+	if got := ctx2.Stats.Get(sim.StatSliceFlushes); got != 1 {
+		t.Fatalf("packed scheme flushed %d slices for 4 words, want 1", got)
+	}
+	// Both remain crash-consistent.
+	s.Crash()
+	if _, err := s.Recover(2); err != nil {
+		t.Fatal(err)
+	}
+	if ctx.Dev.Store().ReadWord(0x118) != 4 {
+		t.Fatal("unpacked variant lost committed data")
+	}
+}
+
+func TestDisableCoalescingChargesFullTraffic(t *testing.T) {
+	run := func(disable bool) (int64, uint64) {
+		s, ctx := testSchemeCfg(t, func(c *Config) { c.DisableCoalescing = disable })
+		for i := uint64(1); i <= 50; i++ {
+			writeTx(s, ctx, 0, map[mem.PAddr]uint64{0x40: i})
+		}
+		s.ForceGC(0)
+		return s.GCMigratedBytes(), ctx.Dev.Store().ReadWord(0x40)
+	}
+	coalesced, v1 := run(false)
+	full, v2 := run(true)
+	if v1 != 50 || v2 != 50 {
+		t.Fatalf("functional outcome diverged: %d %d", v1, v2)
+	}
+	if full <= coalesced {
+		t.Fatalf("uncoalesced GC must migrate more: %d vs %d", full, coalesced)
+	}
+	if full != 50*8 {
+		t.Fatalf("uncoalesced GC must migrate every version: %d", full)
+	}
+}
+
+func TestCondensedMappingStretchesBudget(t *testing.T) {
+	// Four neighbouring lines share one hardware entry under condensing.
+	plain := newMapTable(2*entryBytes, false)
+	cond := newMapTable(2*entryBytes, true)
+	for line := uint64(0); line < 4; line++ { // one 4-line group
+		plain.insert(line, mapEntry{})
+		cond.insert(line, mapEntry{})
+	}
+	if !plain.overCap() {
+		t.Fatal("plain table should exceed a 2-entry budget with 4 lines")
+	}
+	if cond.overCap() {
+		t.Fatalf("condensed table should hold one group in 2 entries (hw=%d)", cond.hwEntries())
+	}
+	cond.insert(100, mapEntry{}) // second group
+	if cond.hwEntries() != 2 {
+		t.Fatalf("hwEntries = %d, want 2", cond.hwEntries())
+	}
+	cond.remove(100)
+	if cond.hwEntries() != 1 {
+		t.Fatalf("group refcount broken: %d", cond.hwEntries())
+	}
+	// Removing three of four lines keeps the group alive.
+	cond.remove(0)
+	cond.remove(1)
+	cond.remove(2)
+	if cond.hwEntries() != 1 {
+		t.Fatal("partial group must still occupy an entry")
+	}
+	cond.remove(3)
+	if cond.hwEntries() != 0 {
+		t.Fatal("empty group must free its entry")
+	}
+}
+
+func TestCondensedSchemeStillRecovers(t *testing.T) {
+	s, ctx := testSchemeCfg(t, func(c *Config) { c.CondenseMapping = true })
+	oracle := map[mem.PAddr]uint64{}
+	r := sim.NewRand(9)
+	for i := 0; i < 100; i++ {
+		words := map[mem.PAddr]uint64{}
+		for j := 0; j < 1+r.Intn(6); j++ {
+			words[mem.PAddr(r.Intn(1024))*8] = r.Uint64()
+		}
+		writeTx(s, ctx, 0, words)
+		for a, v := range words {
+			oracle[a] = v
+		}
+	}
+	s.Crash()
+	if _, err := s.Recover(2); err != nil {
+		t.Fatal(err)
+	}
+	for a, v := range oracle {
+		if ctx.Dev.Store().ReadWord(a) != v {
+			t.Fatalf("condensed variant lost word %v", a)
+		}
+	}
+}

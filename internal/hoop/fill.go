@@ -1,0 +1,115 @@
+package hoop
+
+import (
+	"fmt"
+
+	"hoop/internal/mem"
+	"hoop/internal/persist"
+	"hoop/internal/sim"
+)
+
+// SyntheticFill populates the OOP region with committed transactions
+// directly (no cache/engine simulation), writing real slice chains and
+// commit records. The Figure 11 experiment uses it to create the paper's
+// 1 GB of un-migrated OOP data quickly, then measures recovery. addrSpace
+// bounds the home addresses the transactions touch (smaller → more
+// coalescing during recovery, as in a skewed workload).
+//
+// It returns the number of slice bytes written. The fill is durable: a
+// subsequent Crash+Recover replays it.
+func (s *Scheme) SyntheticFill(numTxs, wordsPerTx int, addrSpace uint64, seed uint64) (int64, error) {
+	if wordsPerTx < 1 {
+		return 0, fmt.Errorf("hoop: wordsPerTx must be >= 1")
+	}
+	if addrSpace < mem.WordSize || uint64(s.ctx.Layout.Home.Size) < addrSpace {
+		return 0, fmt.Errorf("hoop: addrSpace %d out of home region", addrSpace)
+	}
+	if uint64(len(s.pending)+numTxs) > s.logs[0].capacity {
+		return 0, fmt.Errorf("hoop: commit log holds %d records per ring; need %d (raise CommitLogBytes)",
+			s.logs[0].capacity, numTxs)
+	}
+	rng := sim.NewRand(seed)
+	store := s.ctx.Dev.Store()
+	words := addrSpace / mem.WordSize
+	var filled int64
+	for t := 0; t < numTxs; t++ {
+		tx := s.alloc.Next()
+		// Route the transaction's words to their owning controllers.
+		perMC := make([][]persist.WordUpdate, s.nMC)
+		for w := 0; w < wordsPerTx; w++ {
+			var u persist.WordUpdate
+			u.Addr = mem.PAddr((rng.Uint64() % words) * mem.WordSize)
+			v := rng.Uint64()
+			for b := 0; b < mem.WordSize; b++ {
+				u.Val[b] = byte(v >> (8 * uint(b)))
+			}
+			m := s.mcOf(u.Addr)
+			perMC[m] = append(perMC[m], u)
+		}
+		seq := s.nextSeq
+		s.nextSeq++
+		first := true
+		for m := range perMC {
+			if len(perMC[m]) == 0 {
+				continue
+			}
+			var last mem.PAddr
+			nsl := 0
+			blocks := make(map[int]int, 4)
+			for w := 0; w < len(perMC[m]); w += WordsPerSlice {
+				var ds DataSlice
+				cnt := len(perMC[m]) - w
+				if cnt > WordsPerSlice {
+					cnt = WordsPerSlice
+				}
+				ds.Count = cnt
+				for i := 0; i < cnt; i++ {
+					ds.Addrs[i] = perMC[m][w+i].Addr
+					ds.Words[i] = perMC[m][w+i].Val
+				}
+				ds.Prev = last
+				ds.First = nsl == 0
+				ds.TxID = tx
+				a, blk, _ := s.allocSlice(0, m, 0)
+				enc := ds.Encode()
+				store.Write(a, enc[:])
+				s.blocks[blk].live++
+				blocks[blk]++
+				last = a
+				nsl++
+				filled += SliceSize
+			}
+			flags := uint64(0)
+			if first {
+				flags = recFlagDecision // first participant coordinates
+				first = false
+			}
+			if s.logs[m].live+1 > s.logs[m].capacity {
+				return filled, fmt.Errorf("hoop: controller %d commit-log ring exhausted during fill", m)
+			}
+			s.appendCommitRec(m, seq, tx, last, flags)
+			s.pending = append(s.pending, pendingTx{seq: seq, tx: tx, last: last, blocks: blocks, words: len(perMC[m])})
+			for b, n := range blocks {
+				s.blocks[b].live -= n
+				s.blocks[b].pending += n
+			}
+		}
+	}
+	return filled, nil
+}
+
+// ModelRecoveryTime recomputes the analytic recovery time of §III-F for an
+// arbitrary thread count and device bandwidth from a recovery report —
+// Figure 11 evaluates the same recovered region across a (threads ×
+// bandwidth) grid without re-running the functional scan.
+func ModelRecoveryTime(rep RecoveryReport, threads int, bandwidth int64) sim.Duration {
+	if threads < 1 {
+		threads = 1
+	}
+	scanBW := minI64(bandwidth, int64(threads)*recoveryPerThreadScanBW)
+	applyBW := minI64(bandwidth, int64(threads)*recoveryPerThreadApplyBW)
+	return recoveryStartupCost +
+		bytesOver(rep.ScanBytes, scanBW) +
+		bytesOver(rep.ApplyBytes, applyBW) +
+		recoveryBarrierCost
+}

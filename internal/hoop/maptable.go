@@ -1,0 +1,165 @@
+package hoop
+
+import (
+	"hoop/internal/mem"
+	"hoop/internal/persist"
+)
+
+// mapEntry is one record of the hash-based physical-to-physical address
+// mapping table (§III-C): it maps a home-region cache line to the OOP
+// eviction slice holding its newest version. Hardware budgets 16 bytes per
+// entry (home address + OOP address); the extra fields here are the
+// controller-side tag bits that decide when an entry may be dropped.
+type mapEntry struct {
+	slice mem.PAddr // OOP address of the eviction slice
+	mask  uint8     // which words of the line the slice carries
+	count int       // popcount(mask)
+	// ownerTx is the still-live transaction that last wrote the line when
+	// it was evicted; the entry must outlive that transaction's
+	// migration. Zero means every writer had already committed, and seq
+	// bounds the commit sequence of the newest writer.
+	ownerTx persist.TxID
+	seq     uint64
+	block   int // block containing slice (for reclamation refcounts)
+}
+
+// entryBytes is the hardware cost of one mapping-table entry (paper §III-C:
+// home-region address plus OOP-region address).
+const entryBytes = 16
+
+// condenseShift groups lines into 4-line (256-byte) neighbourhoods for the
+// §III-I entry-condensing optimization.
+const condenseShift = 2
+
+// mapTable is the controller-resident mapping table. It is volatile: a
+// crash loses it entirely and recovery rebuilds consistent home contents
+// without it. With condense enabled, entries for neighbouring lines share
+// one hardware entry's budget (the paper's future-work locality
+// optimization), so the same byte budget indexes a larger reach.
+type mapTable struct {
+	entries  map[uint64]mapEntry // keyed by home line index
+	capacity int                 // maximum hardware entries (budget / entryBytes)
+	condense bool
+	groups   map[uint64]int // 4-line group -> member count (condense mode)
+}
+
+func newMapTable(bytes int, condense bool) *mapTable {
+	cap := bytes / entryBytes
+	if cap < 1 {
+		cap = 1
+	}
+	t := &mapTable{entries: make(map[uint64]mapEntry), capacity: cap, condense: condense}
+	if condense {
+		t.groups = make(map[uint64]int)
+	}
+	return t
+}
+
+func (t *mapTable) lookup(line uint64) (mapEntry, bool) {
+	e, ok := t.entries[line]
+	return e, ok
+}
+
+func (t *mapTable) insert(line uint64, e mapEntry) {
+	if t.condense {
+		if _, existed := t.entries[line]; !existed {
+			t.groups[line>>condenseShift]++
+		}
+	}
+	t.entries[line] = e
+}
+
+func (t *mapTable) remove(line uint64) (mapEntry, bool) {
+	e, ok := t.entries[line]
+	if ok {
+		delete(t.entries, line)
+		if t.condense {
+			g := line >> condenseShift
+			if t.groups[g]--; t.groups[g] == 0 {
+				delete(t.groups, g)
+			}
+		}
+	}
+	return e, ok
+}
+
+func (t *mapTable) len() int { return len(t.entries) }
+
+// hwEntries reports the hardware-entry occupancy: one per line normally,
+// one per 4-line group with condensing.
+func (t *mapTable) hwEntries() int {
+	if t.condense {
+		return len(t.groups)
+	}
+	return len(t.entries)
+}
+
+func (t *mapTable) overCap() bool { return t.hwEntries() >= t.capacity }
+
+func (t *mapTable) reset() {
+	t.entries = make(map[uint64]mapEntry)
+	if t.condense {
+		t.groups = make(map[uint64]int)
+	}
+}
+
+// evictBuffer models the 128 KB eviction buffer (§III-C): a FIFO of cache
+// lines recently migrated to the home region by the GC, so that an LLC miss
+// racing with a mapping-table removal still finds fresh data without an NVM
+// access. Like the mapping table it is volatile.
+type evictBuffer struct {
+	lines    map[uint64]struct{}
+	fifo     []uint64
+	head     int
+	capacity int
+}
+
+// evictBufEntryBytes is the hardware cost per entry: a 64-byte line plus
+// its 8-byte home address.
+const evictBufEntryBytes = mem.LineSize + 8
+
+func newEvictBuffer(bytes int) *evictBuffer {
+	cap := bytes / evictBufEntryBytes
+	if cap < 1 {
+		cap = 1
+	}
+	return &evictBuffer{lines: make(map[uint64]struct{}), capacity: cap}
+}
+
+func (b *evictBuffer) contains(line uint64) bool {
+	_, ok := b.lines[line]
+	return ok
+}
+
+// add inserts a line, displacing the oldest entry once full.
+func (b *evictBuffer) add(line uint64) {
+	if _, ok := b.lines[line]; ok {
+		return
+	}
+	if len(b.lines) >= b.capacity {
+		// Drop the oldest still-present entry.
+		for b.head < len(b.fifo) {
+			old := b.fifo[b.head]
+			b.head++
+			if _, ok := b.lines[old]; ok {
+				delete(b.lines, old)
+				break
+			}
+		}
+		// Compact the fifo slab occasionally.
+		if b.head > 4096 && b.head*2 > len(b.fifo) {
+			b.fifo = append([]uint64(nil), b.fifo[b.head:]...)
+			b.head = 0
+		}
+	}
+	b.lines[line] = struct{}{}
+	b.fifo = append(b.fifo, line)
+}
+
+func (b *evictBuffer) reset() {
+	b.lines = make(map[uint64]struct{})
+	b.fifo = nil
+	b.head = 0
+}
+
+func (b *evictBuffer) len() int { return len(b.lines) }

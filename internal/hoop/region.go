@@ -1,0 +1,157 @@
+package hoop
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"hoop/internal/mem"
+	"hoop/internal/persist"
+)
+
+// Durable OOP-region layout (N = number of memory controllers, 1 in the
+// paper's main configuration, >1 for the §III-I two-phase-commit
+// extension):
+//
+//	OOP.Base + 0                    : watermark line (64 B)
+//	OOP.Base + 64                   : N commit-log rings (CommitLogBytes/N each)
+//	align-up to BlockSize           : data blocks (2 MB each, striped over the
+//	                                  controllers: block i belongs to MC i%N)
+//
+// The watermark records the highest commit sequence number whose data has
+// been migrated to the home region; recovery ignores commit-log records at
+// or below it (their blocks may already have been recycled).
+
+const watermarkMagic = 0x484F4F50 // "HOOP"
+
+// commitRecSize is the durable size of one commit-log record: sequence
+// number, transaction ID, last-slice address, and flags. The paper packs
+// eight 16-byte records per 128-byte address memory slice; we carry an
+// explicit sequence number per record (needed to order commits across cores
+// and survive ring wrap-around), so our records occupy 32 bytes of layout.
+// NVM traffic is accounted at the paper's packed cost — commitRecTraffic
+// (16 B) per commit — because the controller write-combines the address
+// memory slices across committing cores.
+const (
+	commitRecSize    = 32
+	commitRecTraffic = 16
+)
+
+// Commit-record flags. In the multi-controller configuration (§III-I's
+// two-phase commit), participant controllers persist PREPARE records for
+// their share of a transaction's slice chains, and the coordinator's
+// DECISION record commits the transaction: a transaction is durable iff a
+// decision record with its ID exists. The single-controller configuration
+// writes only decision records.
+const recFlagDecision = uint64(1) << 0
+
+// commitLog is one controller's durable ring of commit records (the
+// paper's address memory slices). Sequence numbers are global across
+// controllers; slot positions are per-ring.
+type commitLog struct {
+	base     mem.PAddr
+	capacity uint64 // record slots in this ring
+	count    uint64 // records ever appended (volatile cursor)
+	live     uint64 // records appended since the last GC (ring pressure)
+}
+
+// nextAddr returns the slot the next append will use.
+func (l *commitLog) nextAddr() mem.PAddr {
+	return l.base + mem.PAddr((l.count%l.capacity)*commitRecSize)
+}
+
+// encodeCommitRec serializes a commit record.
+func encodeCommitRec(seq uint64, tx persist.TxID, last mem.PAddr, flags uint64) [commitRecSize]byte {
+	var b [commitRecSize]byte
+	binary.LittleEndian.PutUint64(b[0:], seq)
+	binary.LittleEndian.PutUint64(b[8:], uint64(tx))
+	binary.LittleEndian.PutUint64(b[16:], uint64(last))
+	binary.LittleEndian.PutUint64(b[24:], flags)
+	return b
+}
+
+// decodeCommitRec parses a commit record; ok is false for a never-written
+// slot (seq 0).
+func decodeCommitRec(b []byte) (seq uint64, tx persist.TxID, last mem.PAddr, flags uint64, ok bool) {
+	seq = binary.LittleEndian.Uint64(b[0:])
+	tx = persist.TxID(binary.LittleEndian.Uint64(b[8:]))
+	last = mem.PAddr(binary.LittleEndian.Uint64(b[16:]))
+	flags = binary.LittleEndian.Uint64(b[24:])
+	return seq, tx, last, flags, seq != 0
+}
+
+// blockInfo is the controller's volatile view of one OOP block (the cached
+// "block index table" of §III-D plus the allocation bitmap, which is
+// trivially a next-slice cursor because allocation within a block is
+// strictly sequential).
+type blockInfo struct {
+	state byte
+	seq   uint64 // activation sequence (wear-leveling round-robin order)
+	next  int    // next free slice index; slice 0 is the header
+	// live counts slices belonging to still-uncommitted transactions.
+	live int
+	// pending counts slices belonging to committed transactions that the
+	// GC has not yet migrated home.
+	pending int
+	// mapRefs counts mapping-table entries pointing at slices in this
+	// block (read-acceleration eviction slices).
+	mapRefs int
+}
+
+func (b *blockInfo) full() bool { return b.next >= SlicesPerBlock }
+
+// reclaimable reports whether the garbage collector may recycle the block.
+func (b *blockInfo) reclaimable() bool {
+	return b.state == BlkFull && b.live == 0 && b.pending == 0 && b.mapRefs == 0
+}
+
+// regionError signals OOP-region exhaustion (no free block even after GC).
+type regionError struct{ msg string }
+
+func (e *regionError) Error() string { return "hoop: " + e.msg }
+
+// layoutRegion computes the commit-log placement and the data-block array
+// for the configured OOP region and controller count.
+func layoutRegion(oop mem.Region, commitLogBytes, controllers int) (wm mem.PAddr, logs []commitLog, blockBase mem.PAddr, nBlocks int, err error) {
+	if controllers < 1 {
+		return 0, nil, 0, 0, fmt.Errorf("hoop: need at least one controller")
+	}
+	perLog := commitLogBytes / controllers
+	if perLog < commitRecSize {
+		return 0, nil, 0, 0, fmt.Errorf("hoop: commit log too small (%d bytes over %d controllers)", commitLogBytes, controllers)
+	}
+	wm = oop.Base
+	logs = make([]commitLog, controllers)
+	for c := range logs {
+		logs[c] = commitLog{
+			base:     oop.Base + mem.LineSize + mem.PAddr(c*perLog),
+			capacity: uint64(perLog / commitRecSize),
+		}
+	}
+	dataStart := uint64(oop.Base) + mem.LineSize + uint64(controllers*perLog)
+	// Align data blocks up to the block size.
+	dataStart = (dataStart + BlockSize - 1) &^ uint64(BlockSize-1)
+	end := uint64(oop.End())
+	if dataStart >= end {
+		return 0, nil, 0, 0, fmt.Errorf("hoop: OOP region too small for commit log (%d bytes)", oop.Size)
+	}
+	nBlocks = int((end - dataStart) / BlockSize)
+	if nBlocks < 2*controllers {
+		return 0, nil, 0, 0, fmt.Errorf("hoop: OOP region holds only %d blocks; need >= %d", nBlocks, 2*controllers)
+	}
+	return wm, logs, mem.PAddr(dataStart), nBlocks, nil
+}
+
+// blockAddr returns the base NVM address of block i.
+func blockAddr(blockBase mem.PAddr, i int) mem.PAddr {
+	return blockBase + mem.PAddr(i)*BlockSize
+}
+
+// sliceAddr returns the NVM address of slice s within block i.
+func sliceAddr(blockBase mem.PAddr, i, s int) mem.PAddr {
+	return blockAddr(blockBase, i) + mem.PAddr(s)*SliceSize
+}
+
+// blockOf maps a slice address back to its block index.
+func blockOf(blockBase mem.PAddr, a mem.PAddr) int {
+	return int((a - blockBase) / BlockSize)
+}

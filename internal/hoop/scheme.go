@@ -1,0 +1,615 @@
+package hoop
+
+import (
+	"math/bits"
+
+	"hoop/internal/cache"
+	"hoop/internal/mem"
+	"hoop/internal/persist"
+	"hoop/internal/sim"
+)
+
+func popcount8(m uint8) int { return bits.OnesCount8(m) }
+
+// Config sizes the HOOP hardware structures (§III-H defaults).
+type Config struct {
+	// MapTableBytes is the mapping-table budget (paper default 2 MB total,
+	// i.e. 256 KB per core on 8 active cores). Figure 13 sweeps this.
+	MapTableBytes int
+	// EvictBufBytes is the eviction-buffer budget (paper default 128 KB).
+	EvictBufBytes int
+	// OOPBufBytesPerCore is the per-core OOP data buffer (paper: 1 KB).
+	OOPBufBytesPerCore int
+	// CommitLogBytes is the durable commit-record ring (the address
+	// memory slices of §III-D).
+	CommitLogBytes int
+	// GCPeriod is the background garbage-collection interval (paper
+	// default 10 ms; Figure 10 sweeps 2–14 ms).
+	GCPeriod sim.Duration
+
+	// DisablePacking ablates the data-packing optimization of §III-C /
+	// Figure 3: every word update is flushed as its own memory slice
+	// instead of packing eight words per slice. Used by the ablation
+	// study to quantify what packing buys.
+	DisablePacking bool
+
+	// DisableCoalescing ablates the GC data-coalescing optimization of
+	// §III-E: the garbage collector writes every scanned version back to
+	// the home region instead of only the newest version per word. (The
+	// functional outcome is identical — the newest value still lands
+	// last — only the traffic and time change.)
+	DisableCoalescing bool
+
+	// CondenseMapping enables the §III-I future-work optimization: the
+	// mapping table exploits spatial locality by letting entries for
+	// neighbouring cache lines (4-line groups) share one hardware entry,
+	// stretching the same table budget over a larger reach.
+	CondenseMapping bool
+
+	// Controllers configures the §III-I multi-memory-controller extension
+	// (default 1). Physical addresses interleave across controllers at
+	// cache-line granularity; each controller owns its own OOP buffers,
+	// blocks and commit-log ring, and Tx_end runs the two-phase commit:
+	// participants persist PREPARE records for their slice chains, the
+	// coordinator's DECISION record makes the transaction durable.
+	Controllers int
+}
+
+// DefaultConfig returns the paper's configuration.
+func DefaultConfig() Config {
+	return Config{
+		MapTableBytes:      2 << 20,
+		EvictBufBytes:      128 << 10,
+		OOPBufBytesPerCore: 1 << 10,
+		CommitLogBytes:     4 << 20,
+		GCPeriod:           10 * sim.Millisecond,
+	}
+}
+
+// Scheme is the HOOP persistence mechanism (implements persist.Scheme).
+type Scheme struct {
+	ctx persist.Context
+	cfg Config
+
+	alloc persist.TxnAllocator
+
+	// Durable-layout bookkeeping.
+	nMC        int // memory controllers (1 unless Config.Controllers > 1)
+	wmAddr     mem.PAddr
+	logs       []commitLog // one ring per controller
+	nextSeq    uint64      // global commit sequence (starts at 1)
+	blockBase  mem.PAddr
+	blocks     []blockInfo
+	active     []int // per-controller active data block (-1 = none yet)
+	nextScan   []int // per-controller round-robin cursor (uniform wear, §III-D)
+	nextBlkSeq uint64
+	freeBlocks int
+
+	// Volatile controller state (lost on crash).
+	cores      []coreState
+	table      *mapTable
+	evbuf      *evictBuffer
+	activeTx   map[persist.TxID]int // live tx -> core
+	lastWriter map[uint64]persist.TxID
+	dirtyWords map[uint64]uint8 // home line -> words modified since last migration
+	// lineSlice tracks, per home line, the most recent memory slice
+	// carrying any of its words — the OOP-region address a mapping-table
+	// entry points reads at when the line is evicted.
+	lineSlice map[uint64]mem.PAddr
+	pending   []pendingTx // committed, not yet migrated (commit order)
+	watermark uint64      // highest migrated commit sequence
+
+	nextGC      sim.Time
+	gcBusyUntil sim.Time
+	gcAgent     int
+
+	// Cumulative GC coalescing accounting (Table IV).
+	gcModifiedBytes int64
+	gcMigratedBytes int64
+}
+
+// coreState is one core's in-flight transaction context: its share of the
+// OOP data buffer plus per-controller chain-building state.
+type coreState struct {
+	tx      persist.TxID
+	mc      []coreMCState
+	txWords int
+	evicted []uint64 // home lines evicted while this tx was live
+}
+
+// coreMCState is the slice-building state toward one memory controller.
+type coreMCState struct {
+	buf       []persist.WordUpdate
+	bufIdx    map[mem.PAddr]int
+	lastSlice mem.PAddr
+	nslices   int
+	txBlocks  map[int]int // block -> live slices from this tx
+}
+
+// pendingTx is one committed slice chain awaiting migration (a multi-
+// controller transaction contributes one entry per participant chain, all
+// sharing the transaction's commit sequence).
+type pendingTx struct {
+	seq    uint64
+	tx     persist.TxID
+	last   mem.PAddr
+	blocks map[int]int
+	words  int
+}
+
+// Latency constants for controller-internal actions.
+const (
+	// unpackLatency is the metadata-traversal cost when reconstructing a
+	// line from a memory slice ("a few cycles", §III-G).
+	unpackLatency = 800 * sim.Picosecond // 2 cycles at 2.5 GHz
+	// evictBufLatency is a hit in the controller's eviction buffer.
+	evictBufLatency = 20 * sim.Nanosecond
+	// interMCLatency is one message round between the cache controller
+	// and the memory controllers in the two-phase commit (§III-I).
+	interMCLatency = 60 * sim.Nanosecond
+)
+
+// New builds a HOOP scheme over ctx.
+func New(ctx persist.Context, cfg Config) (*Scheme, error) {
+	nMC := cfg.Controllers
+	if nMC == 0 {
+		nMC = 1
+	}
+	wm, logs, base, nBlocks, err := layoutRegion(ctx.Layout.OOP, cfg.CommitLogBytes, nMC)
+	if err != nil {
+		return nil, err
+	}
+	s := &Scheme{
+		ctx:        ctx,
+		cfg:        cfg,
+		nMC:        nMC,
+		wmAddr:     wm,
+		logs:       logs,
+		nextSeq:    1,
+		blockBase:  base,
+		blocks:     make([]blockInfo, nBlocks),
+		active:     make([]int, nMC),
+		nextScan:   make([]int, nMC),
+		freeBlocks: nBlocks,
+		cores:      make([]coreState, ctx.Cores),
+		table:      newMapTable(cfg.MapTableBytes, cfg.CondenseMapping),
+		evbuf:      newEvictBuffer(cfg.EvictBufBytes),
+		activeTx:   make(map[persist.TxID]int),
+		lastWriter: make(map[uint64]persist.TxID),
+		dirtyWords: make(map[uint64]uint8),
+		lineSlice:  make(map[uint64]mem.PAddr),
+		nextGC:     cfg.GCPeriod,
+		gcAgent:    ctx.Cores, // agent slot after the cores
+	}
+	for c := range s.active {
+		s.active[c] = -1
+	}
+	return s, nil
+}
+
+// mcOf routes a home address to its owning memory controller
+// (line-interleaved).
+func (s *Scheme) mcOf(a mem.PAddr) int {
+	if s.nMC == 1 {
+		return 0
+	}
+	return int(mem.LineIndex(a)) % s.nMC
+}
+
+// Controllers reports the configured memory-controller count.
+func (s *Scheme) Controllers() int { return s.nMC }
+
+// Name implements persist.Scheme.
+func (s *Scheme) Name() string { return "HOOP" }
+
+// Properties implements persist.Scheme (Table I's HOOP row).
+func (s *Scheme) Properties() persist.Properties {
+	return persist.Properties{
+		ReadLatency:    "Low",
+		OnCriticalPath: false,
+		NeedFlushFence: false,
+		WriteTraffic:   "Low",
+	}
+}
+
+// TxBegin implements persist.Scheme. The memory controller assigns the
+// transaction ID (§III-G); Tx_begin itself costs nothing beyond setting the
+// processor's transaction state bit.
+func (s *Scheme) TxBegin(core int, now sim.Time) (persist.TxID, sim.Time) {
+	tx := s.alloc.Next()
+	s.activeTx[tx] = core
+	cs := &s.cores[core]
+	*cs = coreState{tx: tx, mc: make([]coreMCState, s.nMC)}
+	for m := range cs.mc {
+		cs.mc[m].bufIdx = make(map[mem.PAddr]int, WordsPerSlice)
+		cs.mc[m].txBlocks = make(map[int]int, 2)
+	}
+	return tx, now
+}
+
+// Store implements persist.Scheme: the cache controller forwards the
+// modified words and their home addresses to the OOP data buffer (§III-G).
+// Stores add no synchronous persistence work; a full buffer group is
+// flushed as a posted 128-byte memory-slice write.
+func (s *Scheme) Store(core int, tx persist.TxID, addr mem.PAddr, val []byte, now sim.Time) sim.Time {
+	cs := &s.cores[core]
+	if cs.tx != tx {
+		panic("hoop: store outside the core's active transaction")
+	}
+	for _, w := range persist.WordsOf(addr, val) {
+		line := mem.LineIndex(w.Addr)
+		s.dirtyWords[line] |= 1 << uint(mem.WordInLine(w.Addr))
+		s.lastWriter[line] = tx
+		m := s.mcOf(w.Addr)
+		ms := &cs.mc[m]
+		if i, ok := ms.bufIdx[w.Addr]; ok {
+			ms.buf[i].Val = w.Val // same-word update coalesces in the buffer
+		} else {
+			ms.bufIdx[w.Addr] = len(ms.buf)
+			ms.buf = append(ms.buf, w)
+			cs.txWords++
+		}
+		flushAt := WordsPerSlice
+		if s.cfg.DisablePacking {
+			flushAt = 1 // ablation: one slice per word update
+		}
+		if len(ms.buf) >= flushAt {
+			now = s.flushSlice(core, m, now)
+		}
+	}
+	return now
+}
+
+// flushSlice packs the core's buffered words toward controller m into one
+// memory slice and issues it as a posted write to the OOP region (data
+// packing, Figure 3).
+func (s *Scheme) flushSlice(core, m int, now sim.Time) sim.Time {
+	ms := &s.cores[core].mc[m]
+	if len(ms.buf) == 0 {
+		return now
+	}
+	var ds DataSlice
+	ds.Count = len(ms.buf)
+	for i, w := range ms.buf {
+		ds.Words[i] = w.Val
+		ds.Addrs[i] = w.Addr
+	}
+	ds.Prev = ms.lastSlice
+	ds.First = ms.nslices == 0
+	ds.TxID = s.cores[core].tx
+
+	addr, blk, t := s.allocSlice(core, m, now)
+	now = t
+	enc := ds.Encode()
+	s.ctx.Dev.Store().Write(addr, enc[:])
+	s.ctx.Ctrl.PostWrite(core, addr, SliceSize, now)
+	s.ctx.Stats.Inc(sim.StatSliceFlushes)
+	for i := 0; i < ds.Count; i++ {
+		s.lineSlice[mem.LineIndex(ds.Addrs[i])] = addr
+	}
+
+	ms.lastSlice = addr
+	ms.nslices++
+	ms.txBlocks[blk]++
+	s.blocks[blk].live++
+	ms.buf = ms.buf[:0]
+	clear(ms.bufIdx)
+	return now
+}
+
+// allocSlice hands out controller m's next memory slice, activating a
+// fresh block (round-robin over the controller's stripe for uniform wear)
+// when the active one fills. It may stall the caller on an on-demand GC if
+// the region is exhausted.
+func (s *Scheme) allocSlice(core, m int, now sim.Time) (mem.PAddr, int, sim.Time) {
+	if s.active[m] >= 0 && s.blocks[s.active[m]].full() {
+		// Seal the block durably.
+		s.writeHeader(s.active[m], BlkFull, core, now)
+		s.active[m] = -1
+	}
+	if s.active[m] < 0 {
+		idx, ok := s.findFreeBlock(m)
+		if !ok {
+			now = s.runGC(now, true)
+			idx, ok = s.findFreeBlock(m)
+			if !ok {
+				panic(&regionError{msg: "OOP region exhausted: no reclaimable block (increase OOP region or GC frequency)"})
+			}
+		}
+		s.nextBlkSeq++
+		s.blocks[idx] = blockInfo{state: BlkInUse, seq: s.nextBlkSeq, next: 1}
+		s.freeBlocks--
+		s.writeHeader(idx, BlkInUse, core, now)
+		s.active[m] = idx
+	}
+	b := &s.blocks[s.active[m]]
+	a := sliceAddr(s.blockBase, s.active[m], b.next)
+	b.next++
+	return a, s.active[m], now
+}
+
+// findFreeBlock scans controller m's block stripe (blocks with index ≡ m
+// mod nMC) round-robin from the last allocation point, implementing the
+// paper's uniform-aging order. nextScan[m] holds a stripe-local position.
+func (s *Scheme) findFreeBlock(m int) (int, bool) {
+	stripe := (len(s.blocks) - m + s.nMC - 1) / s.nMC
+	if stripe == 0 {
+		return 0, false
+	}
+	for i := 0; i < stripe; i++ {
+		p := (s.nextScan[m] + i) % stripe
+		idx := m + p*s.nMC
+		if s.blocks[idx].state == BlkUnused {
+			s.nextScan[m] = (p + 1) % stripe
+			return idx, true
+		}
+	}
+	return 0, false
+}
+
+// writeHeader durably updates a block header (posted; ordering with the
+// data it guards is not required because recovery trusts only the commit
+// log and the watermark).
+func (s *Scheme) writeHeader(idx int, state byte, agent int, now sim.Time) {
+	s.blocks[idx].state = state
+	h := BlockHeader{State: state, Seq: s.blocks[idx].seq, Index: uint64(idx)}
+	enc := h.Encode()
+	s.ctx.Dev.Store().Write(blockAddr(s.blockBase, idx), enc[:])
+	s.ctx.Ctrl.PostWrite(agent, blockAddr(s.blockBase, idx), mem.LineSize, now)
+}
+
+// TxEnd implements persist.Scheme: flush the tail memory slice, drain the
+// core's posted slice writes, and durably append the commit record (the
+// paper's address-memory-slice write). This is the only synchronous
+// persistence point in a HOOP transaction (Figure 4d).
+func (s *Scheme) TxEnd(core int, tx persist.TxID, now sim.Time) sim.Time {
+	cs := &s.cores[core]
+	if cs.tx != tx {
+		panic("hoop: TxEnd for inactive transaction")
+	}
+	// Flush every controller's tail slice and find the participants.
+	var participants []int
+	for m := range cs.mc {
+		if len(cs.mc[m].buf) > 0 {
+			now = s.flushSlice(core, m, now)
+		}
+		if cs.mc[m].nslices > 0 {
+			participants = append(participants, m)
+		}
+	}
+	if len(participants) > 0 {
+		now = s.ctx.Ctrl.Drain(core, now)
+		// Ring pressure: every participant ring must have a free slot.
+		for _, m := range participants {
+			if s.logs[m].live+1 > s.logs[m].capacity {
+				now = s.runGC(now, true)
+				break
+			}
+		}
+		if len(participants) > 1 {
+			// Two-phase commit, Prepare (§III-I): the cache controller
+			// waits for all outstanding flushes to be acknowledged.
+			now += interMCLatency
+		}
+		seq := s.nextSeq
+		s.nextSeq++
+		// Participant PREPARE records (all but the coordinator, which is
+		// the first participant), posted then drained; the coordinator's
+		// DECISION record commits the transaction.
+		for _, m := range participants[1:] {
+			at := s.appendCommitRec(m, seq, tx, cs.mc[m].lastSlice, 0)
+			s.ctx.Ctrl.PostWrite(core, at, commitRecTraffic, now)
+		}
+		if len(participants) > 1 {
+			now = s.ctx.Ctrl.Drain(core, now)
+		}
+		coord := participants[0]
+		recAddr := s.appendCommitRec(coord, seq, tx, cs.mc[coord].lastSlice, recFlagDecision)
+		now = s.ctx.Ctrl.Write(recAddr, commitRecTraffic, now)
+		if len(participants) > 1 {
+			// Commit phase: the controllers acknowledge the commit
+			// message.
+			now += interMCLatency
+		}
+		for _, m := range participants {
+			ms := &cs.mc[m]
+			s.pending = append(s.pending, pendingTx{
+				seq: seq, tx: tx, last: ms.lastSlice, blocks: ms.txBlocks, words: cs.txWords,
+			})
+			cs.txWords = 0 // attribute the word count to one entry only
+			for b, n := range ms.txBlocks {
+				s.blocks[b].live -= n
+				s.blocks[b].pending += n
+			}
+		}
+		// Resolve mapping entries created by evictions while this tx was
+		// live: their data is now committed as of seq.
+		for _, line := range cs.evicted {
+			if e, ok := s.table.lookup(line); ok && e.ownerTx == tx {
+				e.ownerTx = 0
+				e.seq = seq
+				s.table.insert(line, e)
+			}
+		}
+	}
+	delete(s.activeTx, tx)
+	*cs = coreState{}
+	s.ctx.Stats.Inc(sim.StatTxCommitted)
+	return now
+}
+
+// appendCommitRec durably writes a commit record into controller m's ring
+// and returns its address.
+func (s *Scheme) appendCommitRec(m int, seq uint64, tx persist.TxID, last mem.PAddr, flags uint64) mem.PAddr {
+	l := &s.logs[m]
+	at := l.nextAddr()
+	rec := encodeCommitRec(seq, tx, last, flags)
+	s.ctx.Dev.Store().Write(at, rec[:])
+	l.count++
+	l.live++
+	return at
+}
+
+// ReadMiss implements persist.Scheme (the load path of Figure 6): consult
+// the mapping table; on a hit read the OOP slice (in parallel with the home
+// line when the slice holds only part of the line), remove the entry (the
+// newest version now lives in the cache hierarchy), and fill dirty so a
+// future eviction re-persists out-of-place. On a miss, check the eviction
+// buffer, then fall back to the home region.
+func (s *Scheme) ReadMiss(core int, addr mem.PAddr, now sim.Time) (sim.Time, bool) {
+	line := mem.LineIndex(addr)
+	if e, ok := s.table.remove(line); ok {
+		s.ctx.Stats.Inc(sim.StatMapHits)
+		s.blocks[e.block].mapRefs--
+		done := s.ctx.Ctrl.Read(e.slice, SliceSize, now)
+		if e.count < mem.WordsPerLine {
+			// Only the updated words are packed out-of-place: fetch the
+			// home line in parallel and reconstruct (§III-G).
+			home := s.ctx.Ctrl.Read(mem.LineAddr(addr), mem.LineSize, now)
+			done = sim.MaxTime(done, home)
+			s.ctx.Stats.Inc(sim.StatParallelRead)
+		}
+		return done + unpackLatency, true
+	}
+	s.ctx.Stats.Inc(sim.StatMapMisses)
+	if s.evbuf.contains(line) {
+		s.ctx.Stats.Inc(sim.StatEvictBufHits)
+		return now + evictBufLatency, false
+	}
+	return s.ctx.Ctrl.Read(mem.LineAddr(addr), mem.LineSize, now), false
+}
+
+// Evict implements persist.Scheme. A transactional (persistent-bit) line
+// whose words are newer than the home region is indexed in the mapping
+// table, pointing reads at the memory slice already holding its newest
+// words — the line's data is out-of-place by construction, so the eviction
+// itself writes nothing. A transactional line whose words have all been
+// migrated home is dropped silently. Non-transactional dirty lines write
+// back in place.
+func (s *Scheme) Evict(core int, ev cache.Eviction, now sim.Time) sim.Time {
+	lineAddr := mem.LineAddr(ev.Line)
+	line := mem.LineIndex(ev.Line)
+	if !ev.Persistent {
+		var buf [mem.LineSize]byte
+		s.ctx.View.Read(lineAddr, buf[:])
+		s.ctx.Dev.Store().Write(lineAddr, buf[:])
+		s.ctx.Ctrl.PostWrite(core, lineAddr, mem.LineSize, now)
+		return now
+	}
+	mask := s.dirtyWords[line]
+	if mask == 0 {
+		// Every word of this line has been migrated home since its last
+		// store: the cache copy equals the home copy and can be dropped.
+		return now
+	}
+	entry := mapEntry{mask: mask, count: popcount8(mask)}
+	if owner, ok := s.lastWriter[line]; ok {
+		if oc, live := s.activeTx[owner]; live {
+			// The newest writer is still running: make sure its buffered
+			// words are durable (flush the partial slice), and keep the
+			// entry until that transaction commits and migrates.
+			m := s.mcOf(lineAddr)
+			if _, flushed := s.lineSlice[line]; !flushed || s.hasBufferedWords(oc, m, lineAddr) {
+				now = s.flushSlice(oc, m, now)
+			}
+			entry.ownerTx = owner
+			s.cores[oc].evicted = append(s.cores[oc].evicted, line)
+		} else {
+			entry.seq = s.nextSeq - 1
+		}
+	} else {
+		entry.seq = s.nextSeq - 1
+	}
+	slice, ok := s.lineSlice[line]
+	if !ok {
+		// No durable slice carries this line's words (can only happen if
+		// the writer's buffer was empty after a crash-recovery race);
+		// fall back to dropping — the home region is authoritative.
+		return now
+	}
+	if old, prev := s.table.remove(line); prev {
+		s.blocks[old.block].mapRefs--
+	}
+	entry.slice = slice
+	entry.block = blockOf(s.blockBase, slice)
+	s.blocks[entry.block].mapRefs++
+	s.table.insert(line, entry)
+	if s.table.overCap() {
+		now = s.runGC(now, true)
+	}
+	return now
+}
+
+// hasBufferedWords reports whether core's OOP data buffer toward
+// controller m still holds un-flushed words of the given cache line.
+func (s *Scheme) hasBufferedWords(core, m int, lineAddr mem.PAddr) bool {
+	for _, w := range s.cores[core].mc[m].buf {
+		if mem.LineAddr(w.Addr) == lineAddr {
+			return true
+		}
+	}
+	return false
+}
+
+// Tick implements persist.Scheme: run background GC at each period boundary
+// that has passed.
+func (s *Scheme) Tick(now sim.Time) {
+	for s.nextGC <= now {
+		start := s.nextGC
+		s.runGC(start, false)
+		s.nextGC += s.cfg.GCPeriod
+	}
+}
+
+// Crash implements persist.Scheme: every volatile structure is lost — the
+// OOP data buffers, the mapping table, the eviction buffer, the block index
+// cache, and all in-flight transaction state. NVM contents survive.
+func (s *Scheme) Crash() {
+	for i := range s.cores {
+		s.cores[i] = coreState{}
+	}
+	s.table.reset()
+	s.evbuf.reset()
+	s.activeTx = make(map[persist.TxID]int)
+	s.lastWriter = make(map[uint64]persist.TxID)
+	s.dirtyWords = make(map[uint64]uint8)
+	s.lineSlice = make(map[uint64]mem.PAddr)
+	s.pending = nil
+	for m := range s.active {
+		s.active[m] = -1
+	}
+	// Block bookkeeping is volatile too; recovery rebuilds it from the
+	// durable headers and the commit log.
+	for i := range s.blocks {
+		s.blocks[i] = blockInfo{}
+	}
+	s.freeBlocks = 0
+	s.ctx.Ctrl.ResetPending()
+}
+
+// GCModifiedBytes reports the cumulative bytes of transaction-modified data
+// scanned by the GC (the denominator of Table IV's reduction ratio).
+func (s *Scheme) GCModifiedBytes() int64 { return s.gcModifiedBytes }
+
+// GCMigratedBytes reports the cumulative bytes the GC actually wrote back
+// to the home region after coalescing.
+func (s *Scheme) GCMigratedBytes() int64 { return s.gcMigratedBytes }
+
+// DataReduction reports the Table IV metric: the fraction of modified bytes
+// that data coalescing avoided writing back to the home region.
+func (s *Scheme) DataReduction() float64 {
+	if s.gcModifiedBytes == 0 {
+		return 0
+	}
+	return 1 - float64(s.gcMigratedBytes)/float64(s.gcModifiedBytes)
+}
+
+// MappingTableLen reports the current number of mapping-table entries.
+func (s *Scheme) MappingTableLen() int { return s.table.len() }
+
+// PendingCommits reports committed-but-unmigrated transactions.
+func (s *Scheme) PendingCommits() int { return len(s.pending) }
+
+// ForceGC runs a garbage-collection pass immediately (used by the harness
+// to flush coalescing state at the end of a measurement window).
+func (s *Scheme) ForceGC(now sim.Time) sim.Time { return s.runGC(now, false) }

@@ -1,0 +1,194 @@
+package mem
+
+import "encoding/binary"
+
+// Store is the functional contents of the simulated NVM: a sparse byte
+// store over the 512 GB physical address space. Pages (4 KB) are allocated
+// lazily on first write, so simulating a huge DIMM costs memory
+// proportional to the working set only.
+//
+// Store carries no timing information — timing lives in internal/nvm. The
+// split lets crash-consistency tests reason about "what survives a crash"
+// (this store) separately from "how long did it take".
+type Store struct {
+	pages map[uint64][]byte
+}
+
+// NewStore returns an empty (all-zero) store.
+func NewStore() *Store {
+	return &Store{pages: make(map[uint64][]byte)}
+}
+
+func (s *Store) page(a PAddr, create bool) []byte {
+	idx := uint64(a) >> PageShift
+	p, ok := s.pages[idx]
+	if !ok && create {
+		p = make([]byte, PageSize)
+		s.pages[idx] = p
+	}
+	return p
+}
+
+// Read copies len(dst) bytes starting at a into dst. Unwritten memory
+// reads as zero.
+func (s *Store) Read(a PAddr, dst []byte) {
+	for len(dst) > 0 {
+		off := int(a & PageOffMask)
+		n := PageSize - off
+		if n > len(dst) {
+			n = len(dst)
+		}
+		if p := s.page(a, false); p != nil {
+			copy(dst[:n], p[off:off+n])
+		} else {
+			for i := 0; i < n; i++ {
+				dst[i] = 0
+			}
+		}
+		dst = dst[n:]
+		a += PAddr(n)
+	}
+}
+
+// Write copies src into the store starting at a.
+func (s *Store) Write(a PAddr, src []byte) {
+	for len(src) > 0 {
+		off := int(a & PageOffMask)
+		n := PageSize - off
+		if n > len(src) {
+			n = len(src)
+		}
+		copy(s.page(a, true)[off:off+n], src[:n])
+		src = src[n:]
+		a += PAddr(n)
+	}
+}
+
+// ReadWord reads the 8-byte little-endian word at a (must be word-aligned).
+func (s *Store) ReadWord(a PAddr) uint64 {
+	var buf [WordSize]byte
+	s.Read(a, buf[:])
+	return binary.LittleEndian.Uint64(buf[:])
+}
+
+// WriteWord writes the 8-byte little-endian word v at a (must be
+// word-aligned).
+func (s *Store) WriteWord(a PAddr, v uint64) {
+	var buf [WordSize]byte
+	binary.LittleEndian.PutUint64(buf[:], v)
+	s.Write(a, buf[:])
+}
+
+// ReadLine reads the 64-byte cache line containing a.
+func (s *Store) ReadLine(a PAddr) [LineSize]byte {
+	var line [LineSize]byte
+	s.Read(LineAddr(a), line[:])
+	return line
+}
+
+// WriteLine writes a full 64-byte cache line at the line containing a.
+func (s *Store) WriteLine(a PAddr, line [LineSize]byte) {
+	s.Write(LineAddr(a), line[:])
+}
+
+// Clone returns a deep copy of the store. Used by tests to snapshot
+// durable state before injecting a crash.
+func (s *Store) Clone() *Store {
+	c := NewStore()
+	for idx, p := range s.pages {
+		cp := make([]byte, PageSize)
+		copy(cp, p)
+		c.pages[idx] = cp
+	}
+	return c
+}
+
+// PagesAllocated reports how many 4 KB pages have been materialized.
+func (s *Store) PagesAllocated() int { return len(s.pages) }
+
+// ForEachPage calls fn for every materialized page with its base address
+// and contents, in ascending address order. fn must not modify the store.
+func (s *Store) ForEachPage(fn func(base PAddr, data []byte)) {
+	idxs := make([]uint64, 0, len(s.pages))
+	for idx := range s.pages {
+		idxs = append(idxs, idx)
+	}
+	sortUint64(idxs)
+	for _, idx := range idxs {
+		fn(PAddr(idx<<PageShift), s.pages[idx])
+	}
+}
+
+func sortUint64(a []uint64) {
+	// Insertion sort is fine for the typical page counts in tests; large
+	// stores use the stdlib path below.
+	if len(a) > 64 {
+		quickSortU64(a, 0, len(a)-1)
+		return
+	}
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j-1] > a[j]; j-- {
+			a[j-1], a[j] = a[j], a[j-1]
+		}
+	}
+}
+
+func quickSortU64(a []uint64, lo, hi int) {
+	for lo < hi {
+		p := a[(lo+hi)/2]
+		i, j := lo, hi
+		for i <= j {
+			for a[i] < p {
+				i++
+			}
+			for a[j] > p {
+				j--
+			}
+			if i <= j {
+				a[i], a[j] = a[j], a[i]
+				i++
+				j--
+			}
+		}
+		if j-lo < hi-i {
+			quickSortU64(a, lo, j)
+			lo = i
+		} else {
+			quickSortU64(a, i, hi)
+			hi = j
+		}
+	}
+}
+
+// Reset drops every page, returning the store to all-zeros, while keeping
+// the store object (and every pointer to it) valid.
+func (s *Store) Reset() {
+	s.pages = make(map[uint64][]byte)
+}
+
+// CopyFrom replaces this store's contents with a deep copy of other's.
+func (s *Store) CopyFrom(other *Store) {
+	s.Reset()
+	for idx, p := range other.pages {
+		cp := make([]byte, PageSize)
+		copy(cp, p)
+		s.pages[idx] = cp
+	}
+}
+
+// ZeroRange clears [a, a+n). Used when a scheme recycles log/OOP space.
+func (s *Store) ZeroRange(a PAddr, n uint64) {
+	zero := make([]byte, PageSize)
+	for n > 0 {
+		off := int(a & PageOffMask)
+		c := uint64(PageSize - off)
+		if c > n {
+			c = n
+		}
+		if p := s.page(a, false); p != nil {
+			copy(p[off:off+int(c)], zero[:c])
+		}
+		a += PAddr(c)
+		n -= c
+	}
+}

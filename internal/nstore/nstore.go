@@ -1,0 +1,78 @@
+// Package nstore is a minimal persistent key-value storage engine in the
+// spirit of N-store (Arulraj et al., SIGMOD'15), which the paper uses as
+// the database back-end for its YCSB and TPC-C experiments (§IV-A). Each
+// database owns an arena; tables are persistent hash maps of fixed-size
+// records, and every record access flows through the simulated memory
+// hierarchy.
+package nstore
+
+import (
+	"fmt"
+
+	"hoop/internal/mem"
+	"hoop/internal/pmem"
+	"hoop/internal/structures"
+)
+
+// DB is one thread-private database instance (the paper runs one set of
+// tables per worker thread).
+type DB struct {
+	m     pmem.Memory
+	arena *pmem.Arena
+}
+
+// Open formats a database over region. Must run inside a transaction.
+func Open(m pmem.Memory, region mem.Region) *DB {
+	a := pmem.NewArena(m, region)
+	a.Init()
+	return &DB{m: m, arena: a}
+}
+
+// Arena exposes the database's allocator (for ancillary structures).
+func (db *DB) Arena() *pmem.Arena { return db.arena }
+
+// Table is a keyed table of fixed-size records.
+type Table struct {
+	h       *structures.HashMap
+	recSize int
+}
+
+// CreateTable allocates a table expecting roughly expectKeys records of
+// recSize bytes. Must run inside a transaction.
+func (db *DB) CreateTable(expectKeys, recSize int) *Table {
+	buckets := expectKeys / 4
+	if buckets < 16 {
+		buckets = 16
+	}
+	return &Table{
+		h:       structures.NewHashMap(db.m, db.arena, buckets, recSize),
+		recSize: recSize,
+	}
+}
+
+// RecSize reports the table's record size.
+func (t *Table) RecSize() int { return t.recSize }
+
+// Len reports the number of records.
+func (t *Table) Len() int { return t.h.Len() }
+
+// Insert adds or overwrites the record for key. Must run inside a
+// transaction.
+func (t *Table) Insert(key uint64, rec []byte) {
+	if len(rec) != t.recSize {
+		panic(fmt.Sprintf("nstore: record is %d bytes, table holds %d", len(rec), t.recSize))
+	}
+	t.h.Put(key, rec)
+}
+
+// Update is Insert for existing keys (N-store updates are full-record
+// writes).
+func (t *Table) Update(key uint64, rec []byte) { t.Insert(key, rec) }
+
+// Read fetches the record for key into buf.
+func (t *Table) Read(key uint64, buf []byte) bool {
+	return t.h.Get(key, buf)
+}
+
+// Delete removes key. Must run inside a transaction.
+func (t *Table) Delete(key uint64) bool { return t.h.Delete(key) }

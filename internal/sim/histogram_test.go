@@ -1,0 +1,102 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestHistogramBasics(t *testing.T) {
+	var h Histogram
+	if h.Count() != 0 || h.Mean() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatal("empty histogram must be all-zero")
+	}
+	h.Observe(100 * Nanosecond)
+	h.Observe(200 * Nanosecond)
+	h.Observe(300 * Nanosecond)
+	if h.Count() != 3 {
+		t.Fatalf("Count = %d", h.Count())
+	}
+	if h.Mean() != 200*Nanosecond {
+		t.Fatalf("Mean = %v", h.Mean())
+	}
+	if h.Min() != 100*Nanosecond || h.Max() != 300*Nanosecond {
+		t.Fatalf("min/max %v %v", h.Min(), h.Max())
+	}
+	if h.String() == "" || h.String() == "histogram(empty)" {
+		t.Fatal("String")
+	}
+}
+
+func TestHistogramQuantileBounds(t *testing.T) {
+	var h Histogram
+	for i := 1; i <= 1000; i++ {
+		h.Observe(Duration(i) * Microsecond)
+	}
+	p50 := h.Quantile(0.5)
+	p99 := h.Quantile(0.99)
+	// Log buckets are accurate to a factor of two.
+	if p50 < 250*Microsecond || p50 > 1100*Microsecond {
+		t.Fatalf("p50 = %v", p50)
+	}
+	if p99 < p50 {
+		t.Fatal("p99 < p50")
+	}
+	if h.Quantile(0) != h.Min() || h.Quantile(1) != h.Max() {
+		t.Fatal("quantile extremes")
+	}
+}
+
+func TestHistogramQuantileMonotoneQuick(t *testing.T) {
+	f := func(raw []uint32) bool {
+		var h Histogram
+		for _, v := range raw {
+			h.Observe(Duration(v%10_000_000) * Nanosecond)
+		}
+		if h.Count() == 0 {
+			return true
+		}
+		prev := Duration(-1)
+		for _, q := range []float64{0.1, 0.25, 0.5, 0.75, 0.9, 0.99} {
+			v := h.Quantile(q)
+			if v < prev {
+				return false
+			}
+			prev = v
+		}
+		return h.Quantile(0.99) <= h.Max() && h.Quantile(0.1) >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	var a, b Histogram
+	a.Observe(1 * Microsecond)
+	b.Observe(3 * Microsecond)
+	b.Observe(5 * Microsecond)
+	a.Merge(&b)
+	if a.Count() != 3 || a.Min() != 1*Microsecond || a.Max() != 5*Microsecond {
+		t.Fatalf("merge: %s", a.String())
+	}
+	if a.Mean() != 3*Microsecond {
+		t.Fatalf("merged mean %v", a.Mean())
+	}
+	var empty Histogram
+	a.Merge(&empty) // no-op
+	if a.Count() != 3 {
+		t.Fatal("merging empty changed the histogram")
+	}
+	a.Reset()
+	if a.Count() != 0 {
+		t.Fatal("Reset")
+	}
+}
+
+func TestHistogramNegativeClamped(t *testing.T) {
+	var h Histogram
+	h.Observe(-5)
+	if h.Min() != 0 {
+		t.Fatal("negative observations clamp to zero")
+	}
+}

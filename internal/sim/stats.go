@@ -1,0 +1,115 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Stats is a named-counter registry. Components register counters for
+// events worth reporting (NVM bytes written, LLC misses, GC migrations...);
+// the harness snapshots them to build the paper's tables. Stats is not safe
+// for concurrent use: each simulated system owns one and the engine runs
+// single-goroutine.
+type Stats struct {
+	counters map[string]int64
+	order    []string
+}
+
+// NewStats returns an empty registry.
+func NewStats() *Stats {
+	return &Stats{counters: make(map[string]int64)}
+}
+
+// Add increments counter name by delta, creating it on first use.
+func (s *Stats) Add(name string, delta int64) {
+	if _, ok := s.counters[name]; !ok {
+		s.order = append(s.order, name)
+	}
+	s.counters[name] += delta
+}
+
+// Inc increments counter name by one.
+func (s *Stats) Inc(name string) { s.Add(name, 1) }
+
+// Set overwrites counter name.
+func (s *Stats) Set(name string, v int64) {
+	if _, ok := s.counters[name]; !ok {
+		s.order = append(s.order, name)
+	}
+	s.counters[name] = v
+}
+
+// Get reports counter name (zero if never touched).
+func (s *Stats) Get(name string) int64 { return s.counters[name] }
+
+// Names returns the registered counter names in first-use order.
+func (s *Stats) Names() []string {
+	out := make([]string, len(s.order))
+	copy(out, s.order)
+	return out
+}
+
+// Snapshot returns a copy of all counters.
+func (s *Stats) Snapshot() map[string]int64 {
+	out := make(map[string]int64, len(s.counters))
+	for k, v := range s.counters {
+		out[k] = v
+	}
+	return out
+}
+
+// Reset zeroes every counter but keeps registration order.
+func (s *Stats) Reset() {
+	for k := range s.counters {
+		s.counters[k] = 0
+	}
+}
+
+// String renders the counters sorted by name, one per line — handy in test
+// failures.
+func (s *Stats) String() string {
+	names := make([]string, 0, len(s.counters))
+	for k := range s.counters {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	for _, k := range names {
+		fmt.Fprintf(&b, "%-40s %d\n", k, s.counters[k])
+	}
+	return b.String()
+}
+
+// Canonical counter names shared across packages. Keeping them here avoids
+// typo-drift between the component that increments a counter and the
+// harness that reads it.
+const (
+	StatNVMBytesRead    = "nvm.bytes_read"
+	StatNVMBytesWritten = "nvm.bytes_written"
+	StatNVMReads        = "nvm.reads"
+	StatNVMWrites       = "nvm.writes"
+
+	StatL1Hits    = "cache.l1_hits"
+	StatL2Hits    = "cache.l2_hits"
+	StatLLCHits   = "cache.llc_hits"
+	StatLLCMisses = "cache.llc_misses"
+	StatEvictions = "cache.dirty_evictions"
+
+	StatTxCommitted = "tx.committed"
+	StatTxAborted   = "tx.aborted"
+	StatTxStores    = "tx.stores"
+	StatTxLoads     = "tx.loads"
+
+	StatGCRuns          = "gc.runs"
+	StatGCBytesMigrated = "gc.bytes_migrated"
+	StatGCBytesScanned  = "gc.bytes_scanned"
+	StatGCBytesCoalesed = "gc.bytes_coalesced"
+	StatGCOnDemand      = "gc.on_demand"
+
+	StatMapHits      = "hoop.maptable_hits"
+	StatMapMisses    = "hoop.maptable_misses"
+	StatSliceFlushes = "hoop.slice_flushes"
+	StatParallelRead = "hoop.parallel_reads"
+	StatEvictBufHits = "hoop.evict_buffer_hits"
+)

@@ -1,0 +1,143 @@
+package skiplist
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestBasicOps(t *testing.T) {
+	l := New(1)
+	if _, ok, _ := l.Get(5); ok {
+		t.Fatal("empty list must not contain keys")
+	}
+	l.Set(5, 50)
+	l.Set(3, 30)
+	l.Set(7, 70)
+	if v, ok, _ := l.Get(5); !ok || v != 50 {
+		t.Fatal("Get(5)")
+	}
+	l.Set(5, 55) // overwrite
+	if v, _, _ := l.Get(5); v != 55 {
+		t.Fatal("overwrite failed")
+	}
+	if l.Len() != 3 {
+		t.Fatalf("Len = %d", l.Len())
+	}
+	if found, _ := l.Delete(3); !found {
+		t.Fatal("Delete(3)")
+	}
+	if found, _ := l.Delete(3); found {
+		t.Fatal("double delete")
+	}
+	if l.Len() != 2 {
+		t.Fatalf("Len after delete = %d", l.Len())
+	}
+}
+
+func TestRangeOrdered(t *testing.T) {
+	l := New(2)
+	for _, k := range []uint64{9, 1, 5, 3, 7} {
+		l.Set(k, k*10)
+	}
+	var got []uint64
+	l.Range(2, 8, func(k, v uint64) bool {
+		if v != k*10 {
+			t.Fatalf("value mismatch at %d", k)
+		}
+		got = append(got, k)
+		return true
+	})
+	want := []uint64{3, 5, 7}
+	if len(got) != len(want) {
+		t.Fatalf("Range returned %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Range order %v", got)
+		}
+	}
+	// Early stop.
+	n := 0
+	l.Range(0, 100, func(k, v uint64) bool { n++; return n < 2 })
+	if n != 2 {
+		t.Fatalf("early stop visited %d", n)
+	}
+}
+
+func TestHopsGrowLogarithmically(t *testing.T) {
+	l := New(3)
+	for i := uint64(0); i < 100000; i++ {
+		l.Set(i, i)
+	}
+	_, ok, hops := l.Get(77777)
+	if !ok {
+		t.Fatal("key missing")
+	}
+	if hops > 120 {
+		t.Fatalf("search took %d hops for 100k keys (not logarithmic)", hops)
+	}
+	if hops < 5 {
+		t.Fatalf("suspiciously few hops: %d", hops)
+	}
+}
+
+func TestAgainstOracleQuick(t *testing.T) {
+	f := func(ops []uint16) bool {
+		l := New(7)
+		oracle := map[uint64]uint64{}
+		for i, op := range ops {
+			k := uint64(op % 256)
+			switch i % 3 {
+			case 0, 1:
+				l.Set(k, uint64(i))
+				oracle[k] = uint64(i)
+			case 2:
+				l.Delete(k)
+				delete(oracle, k)
+			}
+		}
+		if l.Len() != len(oracle) {
+			return false
+		}
+		for k, v := range oracle {
+			if got, ok, _ := l.Get(k); !ok || got != v {
+				return false
+			}
+		}
+		// Ordered iteration agrees with the sorted oracle keys.
+		var keys []uint64
+		for k := range oracle {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+		i := 0
+		okOrder := true
+		l.Range(0, 1<<62, func(k, v uint64) bool {
+			if i >= len(keys) || keys[i] != k {
+				okOrder = false
+				return false
+			}
+			i++
+			return true
+		})
+		return okOrder && i == len(keys)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClear(t *testing.T) {
+	l := New(0)
+	for i := uint64(0); i < 10; i++ {
+		l.Set(i, i)
+	}
+	l.Clear()
+	if l.Len() != 0 {
+		t.Fatal("Clear")
+	}
+	if _, ok, _ := l.Get(5); ok {
+		t.Fatal("key survived Clear")
+	}
+}

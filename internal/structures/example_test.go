@@ -1,0 +1,80 @@
+package structures_test
+
+import (
+	"fmt"
+
+	"hoop/internal/mem"
+	"hoop/internal/pmem"
+	"hoop/internal/structures"
+)
+
+// The structures run over any pmem.Memory; tests and examples use the
+// unsimulated Direct store, the workloads use engine.Env.
+func ExampleHashMap() {
+	d := pmem.NewDirect()
+	arena := pmem.NewArena(d, mem.Region{Base: 0, Size: 1 << 20})
+	arena.Init()
+
+	users := structures.NewHashMap(d, arena, 64, 16)
+	val := make([]byte, 16)
+	copy(val, "alice")
+	users.Put(1, val)
+	copy(val, "bob\x00\x00")
+	users.Put(2, val)
+
+	got := make([]byte, 16)
+	users.Get(1, got)
+	fmt.Println(string(got[:5]), users.Len())
+	// Output: alice 2
+}
+
+func ExampleRBTree() {
+	d := pmem.NewDirect()
+	arena := pmem.NewArena(d, mem.Region{Base: 0, Size: 4 << 20})
+	arena.Init()
+
+	tr := structures.NewRBTree(d, arena, 8)
+	for _, k := range []uint64{30, 10, 20} {
+		val := make([]byte, 8)
+		val[0] = byte(k)
+		tr.Put(k, val)
+	}
+	tr.Walk(func(k uint64) bool {
+		fmt.Print(k, " ")
+		return true
+	})
+	min, _ := tr.Min()
+	fmt.Println("min:", min)
+	// Output: 10 20 30 min: 10
+}
+
+func ExampleBTree() {
+	d := pmem.NewDirect()
+	arena := pmem.NewArena(d, mem.Region{Base: 0, Size: 8 << 20})
+	arena.Init()
+
+	tr := structures.NewBTree(d, arena, 8)
+	val := make([]byte, 8)
+	for k := uint64(1); k <= 20; k++ {
+		tr.Put(k, val)
+	}
+	fmt.Println(tr.Len(), tr.Depth() > 1)
+	// Output: 20 true
+}
+
+func ExampleQueue() {
+	d := pmem.NewDirect()
+	arena := pmem.NewArena(d, mem.Region{Base: 0, Size: 1 << 20})
+	arena.Init()
+
+	q := structures.NewQueue(d, arena, 8)
+	item := make([]byte, 8)
+	item[0] = 'x'
+	q.Enqueue(item)
+	item[0] = 'y'
+	q.Enqueue(item)
+	out := make([]byte, 8)
+	q.Dequeue(out)
+	fmt.Println(string(out[:1]), q.Len())
+	// Output: x 1
+}

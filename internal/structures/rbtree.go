@@ -1,0 +1,489 @@
+package structures
+
+import (
+	"fmt"
+
+	"hoop/internal/mem"
+	"hoop/internal/pmem"
+)
+
+// RBTree is a persistent red-black tree from uint64 keys to fixed-size
+// values. Rebalancing rotations produce the scattered small pointer writes
+// (2–10 stores per insert, Table III) that make trees the sparse-update
+// stress case for crash-consistency schemes.
+//
+// Layout:
+//
+//	header line: [root][count][valBytes]
+//	node:        [key][left][right][parent][color][value...]
+type RBTree struct {
+	m     pmem.Memory
+	arena *pmem.Arena
+	base  mem.PAddr
+	val   int
+}
+
+const (
+	rbOffRoot  = 0
+	rbOffCount = 8
+	rbOffVal   = 16
+
+	rbNodeKey    = 0
+	rbNodeLeft   = 8
+	rbNodeRight  = 16
+	rbNodeParent = 24
+	rbNodeColor  = 32
+	rbNodeVal    = 40
+
+	rbRed   = 0
+	rbBlack = 1
+)
+
+// NewRBTree allocates an empty tree. Must run inside a transaction.
+func NewRBTree(m pmem.Memory, a *pmem.Arena, valBytes int) *RBTree {
+	if valBytes <= 0 || valBytes%mem.WordSize != 0 {
+		panic(fmt.Sprintf("structures: value size %d must be a positive word multiple", valBytes))
+	}
+	base := a.AllocAligned(mem.LineSize, mem.LineSize)
+	m.WriteWord(base+rbOffRoot, 0)
+	m.WriteWord(base+rbOffCount, 0)
+	m.WriteWord(base+rbOffVal, uint64(valBytes))
+	return &RBTree{m: m, arena: a, base: base, val: valBytes}
+}
+
+// Base reports the tree's persistent root address.
+func (t *RBTree) Base() mem.PAddr { return t.base }
+
+// Len reports the number of keys.
+func (t *RBTree) Len() int { return int(t.m.ReadWord(t.base + rbOffCount)) }
+
+// Accessor helpers (each is one simulated load or store).
+func (t *RBTree) root() mem.PAddr             { return mem.PAddr(t.m.ReadWord(t.base + rbOffRoot)) }
+func (t *RBTree) setRoot(n mem.PAddr)         { t.m.WriteWord(t.base+rbOffRoot, uint64(n)) }
+func (t *RBTree) key(n mem.PAddr) uint64      { return t.m.ReadWord(n + rbNodeKey) }
+func (t *RBTree) left(n mem.PAddr) mem.PAddr  { return mem.PAddr(t.m.ReadWord(n + rbNodeLeft)) }
+func (t *RBTree) right(n mem.PAddr) mem.PAddr { return mem.PAddr(t.m.ReadWord(n + rbNodeRight)) }
+func (t *RBTree) parent(n mem.PAddr) mem.PAddr {
+	return mem.PAddr(t.m.ReadWord(n + rbNodeParent))
+}
+func (t *RBTree) color(n mem.PAddr) uint64 {
+	if n == pmem.Null {
+		return rbBlack // nil leaves are black
+	}
+	return t.m.ReadWord(n + rbNodeColor)
+}
+func (t *RBTree) setLeft(n, v mem.PAddr)   { t.m.WriteWord(n+rbNodeLeft, uint64(v)) }
+func (t *RBTree) setRight(n, v mem.PAddr)  { t.m.WriteWord(n+rbNodeRight, uint64(v)) }
+func (t *RBTree) setParent(n, v mem.PAddr) { t.m.WriteWord(n+rbNodeParent, uint64(v)) }
+func (t *RBTree) setColor(n mem.PAddr, c uint64) {
+	if n == pmem.Null {
+		return
+	}
+	t.m.WriteWord(n+rbNodeColor, c)
+}
+
+// UpdateWord overwrites one 8-byte word of key's value (a sparse field
+// update — the 2-store transactions of Table III), reporting whether the
+// key exists. Must run inside a transaction.
+func (t *RBTree) UpdateWord(key uint64, wordIdx int, v uint64) bool {
+	if wordIdx < 0 || wordIdx*mem.WordSize >= t.val {
+		panic(fmt.Sprintf("structures: word index %d out of value range", wordIdx))
+	}
+	n := t.findNode(key)
+	if n == pmem.Null {
+		return false
+	}
+	t.m.WriteWord(n+rbNodeVal+mem.PAddr(wordIdx*mem.WordSize), v)
+	return true
+}
+
+// Get reads key's value into buf, reporting whether the key exists.
+func (t *RBTree) Get(key uint64, buf []byte) bool {
+	t.checkVal(buf)
+	n := t.findNode(key)
+	if n == pmem.Null {
+		return false
+	}
+	t.m.Read(n+rbNodeVal, buf)
+	return true
+}
+
+func (t *RBTree) findNode(key uint64) mem.PAddr {
+	n := t.root()
+	for n != pmem.Null {
+		k := t.key(n)
+		switch {
+		case key == k:
+			return n
+		case key < k:
+			n = t.left(n)
+		default:
+			n = t.right(n)
+		}
+	}
+	return pmem.Null
+}
+
+// Put inserts key or overwrites its value. Must run inside a transaction.
+func (t *RBTree) Put(key uint64, val []byte) {
+	t.checkVal(val)
+	parent := pmem.Null
+	n := t.root()
+	for n != pmem.Null {
+		parent = n
+		k := t.key(n)
+		switch {
+		case key == k:
+			writeItemWhole(t.m, n+rbNodeVal, val)
+			return
+		case key < k:
+			n = t.left(n)
+		default:
+			n = t.right(n)
+		}
+	}
+	node := t.arena.Alloc(rbNodeVal + t.val)
+	t.m.WriteWord(node+rbNodeKey, key)
+	// Left/right are zero in fresh arena memory; only parent and color
+	// need explicit initialization.
+	t.setParent(node, parent)
+	t.setColor(node, rbRed)
+	writeItemWhole(t.m, node+rbNodeVal, val)
+	if parent == pmem.Null {
+		t.setRoot(node)
+	} else if key < t.key(parent) {
+		t.setLeft(parent, node)
+	} else {
+		t.setRight(parent, node)
+	}
+	t.m.WriteWord(t.base+rbOffCount, uint64(t.Len()+1))
+	t.insertFixup(node)
+}
+
+func (t *RBTree) insertFixup(z mem.PAddr) {
+	for {
+		p := t.parent(z)
+		if p == pmem.Null || t.color(p) != rbRed {
+			break
+		}
+		g := t.parent(p)
+		if g == pmem.Null {
+			break
+		}
+		if p == t.left(g) {
+			u := t.right(g)
+			if t.color(u) == rbRed {
+				t.setColor(p, rbBlack)
+				t.setColor(u, rbBlack)
+				t.setColor(g, rbRed)
+				z = g
+				continue
+			}
+			if z == t.right(p) {
+				z = p
+				t.rotateLeft(z)
+				p = t.parent(z)
+				g = t.parent(p)
+			}
+			t.setColor(p, rbBlack)
+			t.setColor(g, rbRed)
+			t.rotateRight(g)
+		} else {
+			u := t.left(g)
+			if t.color(u) == rbRed {
+				t.setColor(p, rbBlack)
+				t.setColor(u, rbBlack)
+				t.setColor(g, rbRed)
+				z = g
+				continue
+			}
+			if z == t.left(p) {
+				z = p
+				t.rotateRight(z)
+				p = t.parent(z)
+				g = t.parent(p)
+			}
+			t.setColor(p, rbBlack)
+			t.setColor(g, rbRed)
+			t.rotateLeft(g)
+		}
+	}
+	t.setColor(t.root(), rbBlack)
+}
+
+func (t *RBTree) rotateLeft(x mem.PAddr) {
+	y := t.right(x)
+	yl := t.left(y)
+	t.setRight(x, yl)
+	if yl != pmem.Null {
+		t.setParent(yl, x)
+	}
+	p := t.parent(x)
+	t.setParent(y, p)
+	if p == pmem.Null {
+		t.setRoot(y)
+	} else if x == t.left(p) {
+		t.setLeft(p, y)
+	} else {
+		t.setRight(p, y)
+	}
+	t.setLeft(y, x)
+	t.setParent(x, y)
+}
+
+func (t *RBTree) rotateRight(x mem.PAddr) {
+	y := t.left(x)
+	yr := t.right(y)
+	t.setLeft(x, yr)
+	if yr != pmem.Null {
+		t.setParent(yr, x)
+	}
+	p := t.parent(x)
+	t.setParent(y, p)
+	if p == pmem.Null {
+		t.setRoot(y)
+	} else if x == t.right(p) {
+		t.setRight(p, y)
+	} else {
+		t.setLeft(p, y)
+	}
+	t.setRight(y, x)
+	t.setParent(x, y)
+}
+
+// transplant replaces the subtree rooted at u with the subtree rooted at v
+// (v may be Null).
+func (t *RBTree) transplant(u, v mem.PAddr) {
+	p := t.parent(u)
+	if p == pmem.Null {
+		t.setRoot(v)
+	} else if u == t.left(p) {
+		t.setLeft(p, v)
+	} else {
+		t.setRight(p, v)
+	}
+	if v != pmem.Null {
+		t.setParent(v, p)
+	}
+}
+
+// minNode returns the leftmost node of the subtree rooted at n.
+func (t *RBTree) minNode(n mem.PAddr) mem.PAddr {
+	for {
+		l := t.left(n)
+		if l == pmem.Null {
+			return n
+		}
+		n = l
+	}
+}
+
+// Delete removes key, reporting whether it was present. The node is not
+// reclaimed (the arena is bump-only). Must run inside a transaction.
+func (t *RBTree) Delete(key uint64) bool {
+	z := t.findNode(key)
+	if z == pmem.Null {
+		return false
+	}
+	y := z
+	yColor := t.color(y)
+	var x, xp mem.PAddr
+	switch {
+	case t.left(z) == pmem.Null:
+		x, xp = t.right(z), t.parent(z)
+		t.transplant(z, x)
+	case t.right(z) == pmem.Null:
+		x, xp = t.left(z), t.parent(z)
+		t.transplant(z, x)
+	default:
+		y = t.minNode(t.right(z))
+		yColor = t.color(y)
+		x = t.right(y)
+		if t.parent(y) == z {
+			xp = y
+		} else {
+			xp = t.parent(y)
+			t.transplant(y, x)
+			t.setRight(y, t.right(z))
+			t.setParent(t.right(y), y)
+		}
+		t.transplant(z, y)
+		t.setLeft(y, t.left(z))
+		t.setParent(t.left(y), y)
+		t.setColor(y, t.color(z))
+	}
+	if yColor == rbBlack {
+		t.deleteFixup(x, xp)
+	}
+	t.m.WriteWord(t.base+rbOffCount, uint64(t.Len()-1))
+	return true
+}
+
+// deleteFixup restores the red-black invariants after removing a black
+// node; x is the doubly-black node (possibly Null) and xp its parent.
+func (t *RBTree) deleteFixup(x, xp mem.PAddr) {
+	for x != t.root() && t.color(x) == rbBlack {
+		if xp == pmem.Null {
+			break
+		}
+		if x == t.left(xp) {
+			w := t.right(xp)
+			if t.color(w) == rbRed {
+				t.setColor(w, rbBlack)
+				t.setColor(xp, rbRed)
+				t.rotateLeft(xp)
+				w = t.right(xp)
+			}
+			if t.color(t.left(w)) == rbBlack && t.color(t.right(w)) == rbBlack {
+				t.setColor(w, rbRed)
+				x = xp
+				xp = t.parent(x)
+			} else {
+				if t.color(t.right(w)) == rbBlack {
+					t.setColor(t.left(w), rbBlack)
+					t.setColor(w, rbRed)
+					t.rotateRight(w)
+					w = t.right(xp)
+				}
+				t.setColor(w, t.color(xp))
+				t.setColor(xp, rbBlack)
+				t.setColor(t.right(w), rbBlack)
+				t.rotateLeft(xp)
+				x = t.root()
+				xp = pmem.Null
+			}
+		} else {
+			w := t.left(xp)
+			if t.color(w) == rbRed {
+				t.setColor(w, rbBlack)
+				t.setColor(xp, rbRed)
+				t.rotateRight(xp)
+				w = t.left(xp)
+			}
+			if t.color(t.right(w)) == rbBlack && t.color(t.left(w)) == rbBlack {
+				t.setColor(w, rbRed)
+				x = xp
+				xp = t.parent(x)
+			} else {
+				if t.color(t.left(w)) == rbBlack {
+					t.setColor(t.right(w), rbBlack)
+					t.setColor(w, rbRed)
+					t.rotateLeft(w)
+					w = t.left(xp)
+				}
+				t.setColor(w, t.color(xp))
+				t.setColor(xp, rbBlack)
+				t.setColor(t.left(w), rbBlack)
+				t.rotateRight(xp)
+				x = t.root()
+				xp = pmem.Null
+			}
+		}
+	}
+	t.setColor(x, rbBlack)
+}
+
+// CheckInvariants validates the red-black properties (root black, no red
+// node with a red child, equal black heights) and the BST ordering,
+// returning an error description or "" when valid. Used by tests.
+func (t *RBTree) CheckInvariants() string {
+	root := t.root()
+	if root == pmem.Null {
+		return ""
+	}
+	if t.color(root) != rbBlack {
+		return "root is red"
+	}
+	msg := ""
+	var lastKey uint64
+	haveLast := false
+	var walk func(n mem.PAddr) int
+	walk = func(n mem.PAddr) int {
+		if msg != "" {
+			return 0
+		}
+		if n == pmem.Null {
+			return 1
+		}
+		l, r := t.left(n), t.right(n)
+		if t.color(n) == rbRed && (t.color(l) == rbRed || t.color(r) == rbRed) {
+			msg = "red node with red child"
+			return 0
+		}
+		lb := walk(l)
+		if msg == "" {
+			k := t.key(n)
+			if haveLast && k <= lastKey {
+				msg = "BST order violated"
+				return 0
+			}
+			lastKey, haveLast = k, true
+		}
+		rb := walk(r)
+		if msg == "" && lb != rb {
+			msg = "black heights differ"
+			return 0
+		}
+		bh := lb
+		if t.color(n) == rbBlack {
+			bh++
+		}
+		return bh
+	}
+	walk(root)
+	return msg
+}
+
+// Min returns the smallest key (ok=false when empty).
+func (t *RBTree) Min() (uint64, bool) {
+	n := t.root()
+	if n == pmem.Null {
+		return 0, false
+	}
+	for {
+		l := t.left(n)
+		if l == pmem.Null {
+			return t.key(n), true
+		}
+		n = l
+	}
+}
+
+// Walk calls fn for every key in ascending order until fn returns false.
+// Used by tests to validate structure against an oracle.
+func (t *RBTree) Walk(fn func(key uint64) bool) {
+	t.walk(t.root(), fn)
+}
+
+func (t *RBTree) walk(n mem.PAddr, fn func(key uint64) bool) bool {
+	if n == pmem.Null {
+		return true
+	}
+	if !t.walk(t.left(n), fn) {
+		return false
+	}
+	if !fn(t.key(n)) {
+		return false
+	}
+	return t.walk(t.right(n), fn)
+}
+
+// Depth reports the height of the tree (for balance checks in tests).
+func (t *RBTree) Depth() int { return t.depth(t.root()) }
+
+func (t *RBTree) depth(n mem.PAddr) int {
+	if n == pmem.Null {
+		return 0
+	}
+	l, r := t.depth(t.left(n)), t.depth(t.right(n))
+	if l > r {
+		return l + 1
+	}
+	return r + 1
+}
+
+func (t *RBTree) checkVal(b []byte) {
+	if len(b) != t.val {
+		panic(fmt.Sprintf("structures: value is %d bytes, tree holds %d-byte values", len(b), t.val))
+	}
+}

@@ -1,0 +1,480 @@
+package structures
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"hoop/internal/mem"
+	"hoop/internal/pmem"
+	"hoop/internal/sim"
+)
+
+func newArena(t *testing.T, size uint64) (*pmem.Direct, *pmem.Arena) {
+	t.Helper()
+	d := pmem.NewDirect()
+	a := pmem.NewArena(d, mem.Region{Base: 0, Size: size})
+	a.Init()
+	return d, a
+}
+
+func item(seed uint64, n int) []byte {
+	b := make([]byte, n)
+	r := sim.NewRand(seed)
+	for i := range b {
+		b[i] = byte(r.Uint64())
+	}
+	return b
+}
+
+func TestVectorAppendGetUpdate(t *testing.T) {
+	d, a := newArena(t, 1<<20)
+	v := NewVector(d, a, 100, 64)
+	var want [][]byte
+	for i := 0; i < 100; i++ {
+		it := item(uint64(i+1), 64)
+		idx := v.Append(it)
+		if idx != i {
+			t.Fatalf("Append returned %d, want %d", idx, i)
+		}
+		want = append(want, it)
+	}
+	if v.Len() != 100 {
+		t.Fatalf("Len = %d, want 100", v.Len())
+	}
+	// Update every third item.
+	for i := 0; i < 100; i += 3 {
+		it := item(uint64(1000+i), 64)
+		v.Update(i, it)
+		want[i] = it
+	}
+	buf := make([]byte, 64)
+	for i := range want {
+		v.Get(i, buf)
+		if !bytes.Equal(buf, want[i]) {
+			t.Fatalf("item %d mismatch", i)
+		}
+	}
+}
+
+func TestVectorPanicsOnOverflow(t *testing.T) {
+	d, a := newArena(t, 1<<20)
+	v := NewVector(d, a, 1, 8)
+	v.Append(item(1, 8))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic appending past capacity")
+		}
+	}()
+	v.Append(item(2, 8))
+}
+
+func TestVectorOpen(t *testing.T) {
+	d, a := newArena(t, 1<<20)
+	v := NewVector(d, a, 10, 16)
+	it := item(7, 16)
+	v.Append(it)
+	v2 := OpenVector(d, v.Base())
+	if v2.Len() != 1 || v2.Cap() != 10 {
+		t.Fatalf("reopened vector len=%d cap=%d", v2.Len(), v2.Cap())
+	}
+	buf := make([]byte, 16)
+	v2.Get(0, buf)
+	if !bytes.Equal(buf, it) {
+		t.Fatal("reopened vector item mismatch")
+	}
+}
+
+func TestHashMapAgainstOracle(t *testing.T) {
+	d, a := newArena(t, 8<<20)
+	h := NewHashMap(d, a, 64, 32)
+	oracle := map[uint64][]byte{}
+	r := sim.NewRand(42)
+	for i := 0; i < 2000; i++ {
+		key := uint64(r.Intn(500))
+		switch r.Intn(10) {
+		case 0: // delete
+			delete(oracle, key)
+			h.Delete(key)
+		default:
+			val := item(r.Uint64(), 32)
+			oracle[key] = val
+			h.Put(key, val)
+		}
+	}
+	if h.Len() != len(oracle) {
+		t.Fatalf("Len = %d, oracle has %d", h.Len(), len(oracle))
+	}
+	buf := make([]byte, 32)
+	for k, v := range oracle {
+		if !h.Get(k, buf) {
+			t.Fatalf("key %d missing", k)
+		}
+		if !bytes.Equal(buf, v) {
+			t.Fatalf("key %d value mismatch", k)
+		}
+	}
+	for k := uint64(500); k < 600; k++ {
+		if h.Get(k, buf) {
+			t.Fatalf("phantom key %d", k)
+		}
+	}
+}
+
+func TestQueueFIFO(t *testing.T) {
+	d, a := newArena(t, 4<<20)
+	q := NewQueue(d, a, 24)
+	var want [][]byte
+	buf := make([]byte, 24)
+	r := sim.NewRand(7)
+	for i := 0; i < 1000; i++ {
+		if r.Bool(0.6) || len(want) == 0 {
+			it := item(uint64(i)+1, 24)
+			q.Enqueue(it)
+			want = append(want, it)
+		} else {
+			if !q.Dequeue(buf) {
+				t.Fatal("Dequeue failed on non-empty queue")
+			}
+			if !bytes.Equal(buf, want[0]) {
+				t.Fatalf("FIFO violation at step %d", i)
+			}
+			want = want[1:]
+		}
+		if q.Len() != len(want) {
+			t.Fatalf("Len = %d, want %d", q.Len(), len(want))
+		}
+	}
+	for len(want) > 0 {
+		if !q.Dequeue(buf) || !bytes.Equal(buf, want[0]) {
+			t.Fatal("drain mismatch")
+		}
+		want = want[1:]
+	}
+	if q.Dequeue(buf) {
+		t.Fatal("Dequeue succeeded on empty queue")
+	}
+	if q.Peek(buf) {
+		t.Fatal("Peek succeeded on empty queue")
+	}
+}
+
+func TestRBTreeAgainstOracle(t *testing.T) {
+	d, a := newArena(t, 16<<20)
+	tr := NewRBTree(d, a, 16)
+	oracle := map[uint64][]byte{}
+	r := sim.NewRand(99)
+	for i := 0; i < 3000; i++ {
+		key := uint64(r.Intn(800))
+		val := item(r.Uint64(), 16)
+		tr.Put(key, val)
+		oracle[key] = val
+	}
+	if tr.Len() != len(oracle) {
+		t.Fatalf("Len = %d, oracle %d", tr.Len(), len(oracle))
+	}
+	buf := make([]byte, 16)
+	for k, v := range oracle {
+		if !tr.Get(k, buf) || !bytes.Equal(buf, v) {
+			t.Fatalf("key %d wrong", k)
+		}
+	}
+	// Sorted iteration matches the oracle's sorted keys.
+	var wantKeys []uint64
+	for k := range oracle {
+		wantKeys = append(wantKeys, k)
+	}
+	sort.Slice(wantKeys, func(i, j int) bool { return wantKeys[i] < wantKeys[j] })
+	var gotKeys []uint64
+	tr.Walk(func(k uint64) bool { gotKeys = append(gotKeys, k); return true })
+	if len(gotKeys) != len(wantKeys) {
+		t.Fatalf("walk visited %d keys, want %d", len(gotKeys), len(wantKeys))
+	}
+	for i := range wantKeys {
+		if gotKeys[i] != wantKeys[i] {
+			t.Fatalf("walk[%d] = %d, want %d", i, gotKeys[i], wantKeys[i])
+		}
+	}
+	// Red-black balance: height must be O(log n); 2*log2(n+1) bound.
+	maxDepth := 2 * log2(len(oracle)+1)
+	if d := tr.Depth(); d > maxDepth {
+		t.Fatalf("depth %d exceeds red-black bound %d for %d keys", d, maxDepth, len(oracle))
+	}
+}
+
+func TestRBTreeSequentialInsert(t *testing.T) {
+	d, a := newArena(t, 16<<20)
+	tr := NewRBTree(d, a, 8)
+	n := 4096
+	for i := 0; i < n; i++ {
+		tr.Put(uint64(i), item(uint64(i), 8))
+	}
+	if tr.Depth() > 2*log2(n+1) {
+		t.Fatalf("sequential insert unbalanced: depth %d for %d keys", tr.Depth(), n)
+	}
+	min, ok := tr.Min()
+	if !ok || min != 0 {
+		t.Fatalf("Min = %d,%v", min, ok)
+	}
+}
+
+func TestRBTreeDeleteAgainstOracle(t *testing.T) {
+	d, a := newArena(t, 32<<20)
+	tr := NewRBTree(d, a, 8)
+	oracle := map[uint64][]byte{}
+	r := sim.NewRand(314)
+	buf := make([]byte, 8)
+	for i := 0; i < 6000; i++ {
+		key := uint64(r.Intn(400))
+		if r.Bool(0.4) {
+			got := tr.Delete(key)
+			_, want := oracle[key]
+			if got != want {
+				t.Fatalf("step %d: Delete(%d) = %v, oracle %v", i, key, got, want)
+			}
+			delete(oracle, key)
+		} else {
+			val := item(r.Uint64(), 8)
+			tr.Put(key, val)
+			oracle[key] = val
+		}
+		if i%500 == 0 {
+			if msg := tr.CheckInvariants(); msg != "" {
+				t.Fatalf("step %d: %s", i, msg)
+			}
+		}
+	}
+	if msg := tr.CheckInvariants(); msg != "" {
+		t.Fatal(msg)
+	}
+	if tr.Len() != len(oracle) {
+		t.Fatalf("Len = %d, oracle %d", tr.Len(), len(oracle))
+	}
+	for k, v := range oracle {
+		if !tr.Get(k, buf) || !bytes.Equal(buf, v) {
+			t.Fatalf("key %d wrong after deletes", k)
+		}
+	}
+	for k := uint64(0); k < 400; k++ {
+		if _, ok := oracle[k]; !ok && tr.Get(k, buf) {
+			t.Fatalf("phantom key %d", k)
+		}
+	}
+}
+
+func TestRBTreeDeleteAll(t *testing.T) {
+	d, a := newArena(t, 16<<20)
+	tr := NewRBTree(d, a, 8)
+	const n = 300
+	for k := uint64(0); k < n; k++ {
+		tr.Put(k, item(k, 8))
+	}
+	// Delete in an interleaved order to exercise all fixup cases.
+	for k := uint64(0); k < n; k += 2 {
+		if !tr.Delete(k) {
+			t.Fatalf("Delete(%d)", k)
+		}
+	}
+	for k := uint64(n - 1); k < n; k -= 2 {
+		if !tr.Delete(k) {
+			t.Fatalf("Delete(%d)", k)
+		}
+	}
+	if tr.Len() != 0 {
+		t.Fatalf("Len = %d after deleting all", tr.Len())
+	}
+	if msg := tr.CheckInvariants(); msg != "" {
+		t.Fatal(msg)
+	}
+	if _, ok := tr.Min(); ok {
+		t.Fatal("Min on empty tree")
+	}
+}
+
+func TestRBTreeDeleteQuick(t *testing.T) {
+	f := func(seed uint64) bool {
+		d, a := newArena(t, 16<<20)
+		tr := NewRBTree(d, a, 8)
+		oracle := map[uint64]struct{}{}
+		r := sim.NewRand(seed)
+		for i := 0; i < 400; i++ {
+			key := uint64(r.Intn(64))
+			if r.Bool(0.45) {
+				tr.Delete(key)
+				delete(oracle, key)
+			} else {
+				tr.Put(key, item(key, 8))
+				oracle[key] = struct{}{}
+			}
+		}
+		if tr.CheckInvariants() != "" || tr.Len() != len(oracle) {
+			return false
+		}
+		var keys []uint64
+		tr.Walk(func(k uint64) bool { keys = append(keys, k); return true })
+		if len(keys) != len(oracle) {
+			return false
+		}
+		for _, k := range keys {
+			if _, ok := oracle[k]; !ok {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBTreeAgainstOracle(t *testing.T) {
+	d, a := newArena(t, 32<<20)
+	tr := NewBTree(d, a, 16)
+	oracle := map[uint64][]byte{}
+	r := sim.NewRand(123)
+	for i := 0; i < 5000; i++ {
+		key := uint64(r.Intn(1200))
+		val := item(r.Uint64(), 16)
+		tr.Put(key, val)
+		oracle[key] = val
+	}
+	if tr.Len() != len(oracle) {
+		t.Fatalf("Len = %d, oracle %d", tr.Len(), len(oracle))
+	}
+	buf := make([]byte, 16)
+	for k, v := range oracle {
+		if !tr.Get(k, buf) || !bytes.Equal(buf, v) {
+			t.Fatalf("key %d wrong", k)
+		}
+	}
+	var wantKeys []uint64
+	for k := range oracle {
+		wantKeys = append(wantKeys, k)
+	}
+	sort.Slice(wantKeys, func(i, j int) bool { return wantKeys[i] < wantKeys[j] })
+	var gotKeys []uint64
+	tr.Walk(func(k uint64) bool { gotKeys = append(gotKeys, k); return true })
+	if len(gotKeys) != len(wantKeys) {
+		t.Fatalf("walk visited %d keys, want %d", len(gotKeys), len(wantKeys))
+	}
+	for i := range wantKeys {
+		if gotKeys[i] != wantKeys[i] {
+			t.Fatalf("walk[%d] = %d, want %d", i, gotKeys[i], wantKeys[i])
+		}
+	}
+}
+
+func TestBTreeSequentialAndDepth(t *testing.T) {
+	d, a := newArena(t, 64<<20)
+	tr := NewBTree(d, a, 8)
+	n := 10000
+	for i := 0; i < n; i++ {
+		tr.Put(uint64(i), item(uint64(i), 8))
+	}
+	buf := make([]byte, 8)
+	for i := 0; i < n; i += 97 {
+		if !tr.Get(uint64(i), buf) {
+			t.Fatalf("key %d missing", i)
+		}
+	}
+	// With order 8 (min fill ~4), depth should be around log_4(n).
+	if d := tr.Depth(); d > 10 {
+		t.Fatalf("depth %d too large for %d keys", d, n)
+	}
+}
+
+// Property: a random operation sequence applied to the B-tree and a Go map
+// always agrees.
+func TestBTreeQuickProperty(t *testing.T) {
+	f := func(seed uint64, opsRaw []byte) bool {
+		if len(opsRaw) > 400 {
+			opsRaw = opsRaw[:400]
+		}
+		d, a := newArena(t, 32<<20)
+		tr := NewBTree(d, a, 8)
+		oracle := map[uint64][]byte{}
+		r := sim.NewRand(seed)
+		for _, op := range opsRaw {
+			key := uint64(op % 64)
+			val := item(r.Uint64(), 8)
+			tr.Put(key, val)
+			oracle[key] = val
+		}
+		buf := make([]byte, 8)
+		for k, v := range oracle {
+			if !tr.Get(k, buf) || !bytes.Equal(buf, v) {
+				return false
+			}
+		}
+		return tr.Len() == len(oracle)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: hashmap and RB-tree agree on the same random workload.
+func TestMapTreeQuickAgreement(t *testing.T) {
+	f := func(seed uint64) bool {
+		d, a := newArena(t, 32<<20)
+		h := NewHashMap(d, a, 32, 8)
+		tr := NewRBTree(d, a, 8)
+		r := sim.NewRand(seed)
+		for i := 0; i < 300; i++ {
+			key := uint64(r.Intn(100))
+			val := item(r.Uint64(), 8)
+			h.Put(key, val)
+			tr.Put(key, val)
+		}
+		if h.Len() != tr.Len() {
+			return false
+		}
+		b1, b2 := make([]byte, 8), make([]byte, 8)
+		for k := uint64(0); k < 100; k++ {
+			ok1 := h.Get(k, b1)
+			ok2 := tr.Get(k, b2)
+			if ok1 != ok2 {
+				return false
+			}
+			if ok1 && !bytes.Equal(b1, b2) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLargeItems(t *testing.T) {
+	for _, size := range []int{64, 512, 1024} {
+		size := size
+		t.Run(fmt.Sprintf("item%d", size), func(t *testing.T) {
+			d, a := newArena(t, 64<<20)
+			h := NewHashMap(d, a, 128, size)
+			want := map[uint64][]byte{}
+			for i := 0; i < 200; i++ {
+				v := item(uint64(i)*13+1, size)
+				h.Put(uint64(i), v)
+				want[uint64(i)] = v
+			}
+			buf := make([]byte, size)
+			for k, v := range want {
+				if !h.Get(k, buf) || !bytes.Equal(buf, v) {
+					t.Fatalf("key %d wrong at item size %d", k, size)
+				}
+			}
+		})
+	}
+}
+
+func log2(n int) int {
+	c := 0
+	for v := 1; v < n; v <<= 1 {
+		c++
+	}
+	return c
+}

@@ -1,0 +1,102 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+
+	"hoop/internal/engine"
+	"hoop/internal/mem"
+)
+
+// Recorder tees a workload's operations into a trace while they execute.
+// Wrap each thread's Env with Wrap, run the workload, then Flush.
+type Recorder struct {
+	w *Writer
+}
+
+// NewRecorder builds a recorder over w.
+func NewRecorder(w io.Writer) *Recorder {
+	return &Recorder{w: NewWriter(w)}
+}
+
+// Flush drains the underlying trace writer.
+func (r *Recorder) Flush() error { return r.w.Flush() }
+
+// Count reports recorded ops.
+func (r *Recorder) Count() int64 { return r.w.Count() }
+
+// Recorder implements engine.Tracer: install it with
+// sys.SetTracer(recorder) and every operation any workload issues through
+// the engine is captured.
+
+func (r *Recorder) emit(op Op) {
+	if err := r.w.Write(op); err != nil {
+		panic(fmt.Sprintf("trace: recording failed: %v", err))
+	}
+}
+
+// TraceTxBegin implements engine.Tracer.
+func (r *Recorder) TraceTxBegin(thread int) {
+	r.emit(Op{Kind: OpTxBegin, Thread: uint8(thread)})
+}
+
+// TraceTxEnd implements engine.Tracer.
+func (r *Recorder) TraceTxEnd(thread int) {
+	r.emit(Op{Kind: OpTxEnd, Thread: uint8(thread)})
+}
+
+// TraceLoad implements engine.Tracer.
+func (r *Recorder) TraceLoad(thread int, addr mem.PAddr, size int) {
+	r.emit(Op{Kind: OpLoad, Thread: uint8(thread), Addr: addr, Size: uint32(size)})
+}
+
+// TraceStore implements engine.Tracer.
+func (r *Recorder) TraceStore(thread int, addr mem.PAddr, data []byte) {
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	r.emit(Op{Kind: OpStore, Thread: uint8(thread), Addr: addr, Size: uint32(len(data)), Data: cp})
+}
+
+var _ engine.Tracer = (*Recorder)(nil)
+
+// Replay drives a recorded trace against a fresh system: every thread's
+// operations execute in recorded order (interleaved exactly as captured),
+// through whatever persistence scheme sys is configured with. It returns
+// the number of transactions replayed.
+func Replay(sys *engine.System, r io.Reader) (int64, error) {
+	tr := NewReader(r)
+	threads := sys.Config().Threads
+	envs := make([]*engine.Env, threads)
+	for i := range envs {
+		envs[i] = sys.NewEnv(i)
+	}
+	var txs int64
+	buf := make([]byte, 0, 1024)
+	for {
+		op, err := tr.Read()
+		if err == io.EOF {
+			return txs, nil
+		}
+		if err != nil {
+			return txs, err
+		}
+		if int(op.Thread) >= threads {
+			return txs, fmt.Errorf("trace: op for thread %d but system has %d threads", op.Thread, threads)
+		}
+		env := envs[op.Thread]
+		switch op.Kind {
+		case OpTxBegin:
+			env.TxBegin()
+		case OpTxEnd:
+			env.TxEnd()
+			txs++
+		case OpLoad:
+			if cap(buf) < int(op.Size) {
+				buf = make([]byte, op.Size)
+			}
+			env.Read(op.Addr, buf[:op.Size])
+		case OpStore:
+			env.Write(op.Addr, op.Data)
+		}
+	}
+}

@@ -1,0 +1,195 @@
+// Package trace records and replays memory-operation traces. A trace
+// captures the exact operation stream a workload issued — transaction
+// boundaries, loads, stores with their data — in a compact binary format,
+// so a run can be (a) inspected offline, (b) replayed bit-identically
+// against any persistence scheme, or (c) exported for analysis outside the
+// simulator. This mirrors how the paper's platform consumed Pin-captured
+// application traces.
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"hoop/internal/mem"
+)
+
+// Op kinds.
+const (
+	OpTxBegin byte = iota + 1
+	OpTxEnd
+	OpLoad
+	OpStore
+)
+
+// Op is one traced operation. Thread identifies the issuing workload
+// thread; Data is present only for stores.
+type Op struct {
+	Kind   byte
+	Thread uint8
+	Addr   mem.PAddr
+	Size   uint32
+	Data   []byte
+}
+
+// String renders the op for human inspection.
+func (o Op) String() string {
+	switch o.Kind {
+	case OpTxBegin:
+		return fmt.Sprintf("t%d TX_BEGIN", o.Thread)
+	case OpTxEnd:
+		return fmt.Sprintf("t%d TX_END", o.Thread)
+	case OpLoad:
+		return fmt.Sprintf("t%d LOAD  %v +%d", o.Thread, o.Addr, o.Size)
+	case OpStore:
+		return fmt.Sprintf("t%d STORE %v +%d", o.Thread, o.Addr, o.Size)
+	}
+	return fmt.Sprintf("t%d ?%d", o.Thread, o.Kind)
+}
+
+// Magic and version of the binary format.
+const (
+	magic   = 0x484F5452 // "HOTR"
+	version = 1
+)
+
+// Writer streams ops into an io.Writer.
+type Writer struct {
+	w       *bufio.Writer
+	started bool
+	count   int64
+}
+
+// NewWriter wraps w.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{w: bufio.NewWriter(w)}
+}
+
+func (t *Writer) header() error {
+	var h [8]byte
+	binary.LittleEndian.PutUint32(h[0:], magic)
+	binary.LittleEndian.PutUint32(h[4:], version)
+	_, err := t.w.Write(h[:])
+	return err
+}
+
+// Write appends one op.
+func (t *Writer) Write(op Op) error {
+	if !t.started {
+		if err := t.header(); err != nil {
+			return err
+		}
+		t.started = true
+	}
+	var h [14]byte
+	h[0] = op.Kind
+	h[1] = op.Thread
+	binary.LittleEndian.PutUint64(h[2:], uint64(op.Addr))
+	binary.LittleEndian.PutUint32(h[10:], op.Size)
+	if _, err := t.w.Write(h[:]); err != nil {
+		return err
+	}
+	if op.Kind == OpStore {
+		if uint32(len(op.Data)) != op.Size {
+			return fmt.Errorf("trace: store op with %d data bytes but size %d", len(op.Data), op.Size)
+		}
+		if _, err := t.w.Write(op.Data); err != nil {
+			return err
+		}
+	}
+	t.count++
+	return nil
+}
+
+// Count reports ops written.
+func (t *Writer) Count() int64 { return t.count }
+
+// Flush drains the buffer; call before closing the underlying writer.
+func (t *Writer) Flush() error {
+	if !t.started {
+		if err := t.header(); err != nil {
+			return err
+		}
+		t.started = true
+	}
+	return t.w.Flush()
+}
+
+// Reader streams ops from an io.Reader.
+type Reader struct {
+	r       *bufio.Reader
+	started bool
+}
+
+// NewReader wraps r.
+func NewReader(r io.Reader) *Reader {
+	return &Reader{r: bufio.NewReader(r)}
+}
+
+func (t *Reader) header() error {
+	var h [8]byte
+	if _, err := io.ReadFull(t.r, h[:]); err != nil {
+		return fmt.Errorf("trace: reading header: %w", err)
+	}
+	if binary.LittleEndian.Uint32(h[0:]) != magic {
+		return fmt.Errorf("trace: bad magic")
+	}
+	if v := binary.LittleEndian.Uint32(h[4:]); v != version {
+		return fmt.Errorf("trace: unsupported version %d", v)
+	}
+	return nil
+}
+
+// Read returns the next op, or io.EOF at the end of the trace.
+func (t *Reader) Read() (Op, error) {
+	if !t.started {
+		if err := t.header(); err != nil {
+			return Op{}, err
+		}
+		t.started = true
+	}
+	var h [14]byte
+	if _, err := io.ReadFull(t.r, h[:]); err != nil {
+		if err == io.EOF {
+			return Op{}, io.EOF
+		}
+		return Op{}, fmt.Errorf("trace: reading op: %w", err)
+	}
+	op := Op{
+		Kind:   h[0],
+		Thread: h[1],
+		Addr:   mem.PAddr(binary.LittleEndian.Uint64(h[2:])),
+		Size:   binary.LittleEndian.Uint32(h[10:]),
+	}
+	switch op.Kind {
+	case OpTxBegin, OpTxEnd, OpLoad:
+	case OpStore:
+		if op.Size > 1<<20 {
+			return Op{}, fmt.Errorf("trace: unreasonable store size %d", op.Size)
+		}
+		op.Data = make([]byte, op.Size)
+		if _, err := io.ReadFull(t.r, op.Data); err != nil {
+			return Op{}, fmt.Errorf("trace: reading store data: %w", err)
+		}
+	default:
+		return Op{}, fmt.Errorf("trace: unknown op kind %d", op.Kind)
+	}
+	return op, nil
+}
+
+// ReadAll drains the trace.
+func (t *Reader) ReadAll() ([]Op, error) {
+	var ops []Op
+	for {
+		op, err := t.Read()
+		if err == io.EOF {
+			return ops, nil
+		}
+		if err != nil {
+			return ops, err
+		}
+		ops = append(ops, op)
+	}
+}

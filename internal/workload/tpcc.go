@@ -1,0 +1,126 @@
+package workload
+
+import (
+	"hoop/internal/engine"
+	"hoop/internal/mem"
+	"hoop/internal/pmem"
+	"hoop/internal/sim"
+)
+
+// TPC-C scaling (per thread = per warehouse, scaled down from the full
+// spec so setup stays tractable; the access *pattern* of new-order is what
+// matters: §IV-A uses only new-order, "the most write intensive" TPC-C
+// transaction, with a 40%/60% write/read mix and 10–35 stores per tx).
+const (
+	tpccDistricts = 10
+	tpccItems     = 1024
+	tpccCustomers = 256
+	tpccMinLines  = 5
+	tpccMaxLines  = 15
+	tpccRecBytes  = 64 // one cache line per record
+	tpccMaxOrders = 1 << 20
+)
+
+// tpccDB lays the per-warehouse tables out as flat record arrays (TPC-C
+// tables are dense and pre-sized).
+type tpccDB struct {
+	warehouse mem.PAddr // 1 record
+	district  mem.PAddr // tpccDistricts records
+	customer  mem.PAddr // tpccCustomers records
+	item      mem.PAddr // tpccItems records (read-only)
+	stock     mem.PAddr // tpccItems records
+	order     mem.PAddr // ring of order records
+	orderLine mem.PAddr // ring of order-line records
+	nextOrder int
+	nextLine  int
+}
+
+func (db *tpccDB) rec(base mem.PAddr, i int) mem.PAddr {
+	return base + mem.PAddr(i*tpccRecBytes)
+}
+
+// TPCC returns the new-order workload.
+func TPCC() Workload {
+	return Workload{
+		Name:        "tpcc",
+		Desc:        "OLTP workload",
+		StoresPerTx: "10-35",
+		WriteRead:   "40%/60%",
+		Build: func(env *engine.Env, region mem.Region, seed uint64) engine.TxRunner {
+			arena := pmem.NewArena(env, region)
+			rng := sim.NewRand(seed)
+			db := &tpccDB{}
+			rec := make([]byte, tpccRecBytes)
+
+			env.TxBegin()
+			arena.Init()
+			db.warehouse = arena.AllocAligned(tpccRecBytes, mem.LineSize)
+			db.district = arena.AllocAligned(tpccDistricts*tpccRecBytes, mem.LineSize)
+			db.customer = arena.AllocAligned(tpccCustomers*tpccRecBytes, mem.LineSize)
+			db.item = arena.AllocAligned(tpccItems*tpccRecBytes, mem.LineSize)
+			db.stock = arena.AllocAligned(tpccItems*tpccRecBytes, mem.LineSize)
+			db.orderLine = arena.AllocAligned(tpccMaxOrders*tpccRecBytes, mem.LineSize)
+			db.order = arena.AllocAligned((tpccMaxOrders/8)*tpccRecBytes, mem.LineSize)
+			env.TxEnd()
+
+			// Populate: warehouse, districts, customers, items, stock.
+			env.TxBegin()
+			fillItem(rng, rec)
+			env.Write(db.warehouse, rec)
+			env.TxEnd()
+			for d := 0; d < tpccDistricts; d++ {
+				env.TxBegin()
+				fillItem(rng, rec)
+				env.Write(db.rec(db.district, d), rec)
+				env.TxEnd()
+			}
+			for c := 0; c < tpccCustomers; c++ {
+				env.TxBegin()
+				fillItem(rng, rec)
+				env.Write(db.rec(db.customer, c), rec)
+				env.TxEnd()
+			}
+			for i := 0; i < tpccItems; i++ {
+				env.TxBegin()
+				fillItem(rng, rec)
+				env.Write(db.rec(db.item, i), rec)
+				fillItem(rng, rec)
+				env.Write(db.rec(db.stock, i), rec)
+				env.TxEnd()
+			}
+
+			lineRec := make([]byte, tpccRecBytes)
+			return engine.TxRunnerFunc(func(env *engine.Env) {
+				// One new-order transaction.
+				env.TxBegin()
+				// Reads: warehouse tax, district record, customer record.
+				env.Read(db.warehouse, rec)
+				d := rng.Intn(tpccDistricts)
+				dAddr := db.rec(db.district, d)
+				env.Read(dAddr, rec)
+				env.Read(db.rec(db.customer, rng.Intn(tpccCustomers)), rec)
+				// Update district next_o_id (one word).
+				nextOID := env.ReadWord(dAddr) + 1
+				env.WriteWord(dAddr, nextOID)
+				// Insert the order record.
+				fillItem(rng, lineRec)
+				env.Write(db.rec(db.order, db.nextOrder%(tpccMaxOrders/8)), lineRec)
+				db.nextOrder++
+				// Order lines.
+				lines := tpccMinLines + rng.Intn(tpccMaxLines-tpccMinLines+1)
+				for l := 0; l < lines; l++ {
+					it := rng.Intn(tpccItems)
+					env.Read(db.rec(db.item, it), rec) // item price/name
+					sAddr := db.rec(db.stock, it)
+					env.Read(sAddr, rec)        // stock record
+					qty := env.ReadWord(sAddr)  // s_quantity word
+					env.WriteWord(sAddr, qty+1) // update quantity/ytd
+					fillItem(rng, lineRec)      // new order line
+					env.Write(db.rec(db.orderLine, db.nextLine%tpccMaxOrders), lineRec)
+					db.nextLine++
+				}
+				env.TxEnd()
+			})
+		},
+	}
+}

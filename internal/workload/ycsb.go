@@ -1,0 +1,61 @@
+package workload
+
+import (
+	"fmt"
+
+	"hoop/internal/engine"
+	"hoop/internal/mem"
+	"hoop/internal/nstore"
+	"hoop/internal/sim"
+)
+
+// YCSB parameters (§IV-A): 80% updates / 20% reads over a Zipfian key
+// distribution against an N-store database; key-value pairs of 512 B or
+// 1 KB. Each transaction batches a few operations, landing in the Table III
+// range of 8–32 stores per transaction.
+const (
+	ycsbKeysPerThread = 4096
+	ycsbUpdateRatio   = 0.8
+	ycsbZipfTheta     = 0.99
+	ycsbMaxOpsPerTx   = 4
+)
+
+// YCSB returns the cloud-serving benchmark with the given value size.
+func YCSB(valBytes int) Workload {
+	return Workload{
+		Name:        fmt.Sprintf("ycsb-%s", sizeTag(valBytes)),
+		Desc:        "Cloud benchmark",
+		StoresPerTx: "8-32",
+		WriteRead:   "80%/20%",
+		Build: func(env *engine.Env, region mem.Region, seed uint64) engine.TxRunner {
+			env.TxBegin()
+			db := nstore.Open(env, region)
+			table := db.CreateTable(ycsbKeysPerThread, valBytes)
+			env.TxEnd()
+			rng := sim.NewRand(seed)
+			zipf := NewZipf(sim.NewRand(seed^0xFACE), ycsbKeysPerThread, ycsbZipfTheta)
+			buf := make([]byte, valBytes)
+			// Load phase: populate the whole key space.
+			for k := 0; k < ycsbKeysPerThread; k++ {
+				env.TxBegin()
+				fillItem(rng, buf)
+				table.Insert(uint64(k), buf)
+				env.TxEnd()
+			}
+			return engine.TxRunnerFunc(func(env *engine.Env) {
+				env.TxBegin()
+				ops := 1 + rng.Intn(ycsbMaxOpsPerTx)
+				for i := 0; i < ops; i++ {
+					key := zipf.Next()
+					if rng.Bool(ycsbUpdateRatio) {
+						fillItem(rng, buf)
+						table.Update(key, buf)
+					} else {
+						table.Read(key, buf)
+					}
+				}
+				env.TxEnd()
+			})
+		},
+	}
+}
