@@ -6,6 +6,7 @@ package hoopnvm
 
 import (
 	"io"
+	"runtime"
 	"testing"
 
 	"hoop/internal/engine"
@@ -13,7 +14,10 @@ import (
 	"hoop/internal/workload"
 )
 
-func benchOpts() harness.Options { return harness.Options{Quick: true, Seed: 1} }
+// benchOpts pins the cell pool to one worker so the per-figure benchmarks
+// keep measuring the serial harness cost; BenchmarkFigure7aParallel runs
+// the pool at GOMAXPROCS for the speedup comparison.
+func benchOpts() harness.Options { return harness.Options{Quick: true, Seed: 1, Workers: 1} }
 
 // BenchmarkTableI renders the qualitative technique comparison.
 func BenchmarkTableI(b *testing.B) {
@@ -35,6 +39,24 @@ func BenchmarkFigure7a(b *testing.B) {
 		}
 		h := harness.ComputeHeadline(m)
 		b.ReportMetric(h.ThroughputGainVs[engine.SchemeRedo]*100, "%gain-vs-redo")
+	}
+}
+
+// BenchmarkFigure7aParallel regenerates the same matrix as
+// BenchmarkFigure7a with the cell pool at GOMAXPROCS workers; comparing
+// the two shows the multi-core speedup of the harness (the measured
+// numbers are bit-identical).
+func BenchmarkFigure7aParallel(b *testing.B) {
+	opts := benchOpts()
+	opts.Workers = runtime.GOMAXPROCS(0)
+	for i := 0; i < b.N; i++ {
+		m, err := harness.RunMatrixOn(opts,
+			[]workload.Workload{workload.HashMapWL(64), workload.RBTreeWL(64)},
+			engine.AllSchemes)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(m.Stats.Speedup(), "pool-speedup")
 	}
 }
 

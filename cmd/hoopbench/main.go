@@ -4,14 +4,16 @@
 //
 // Usage:
 //
-//	hoopbench [-quick] [-seed N] [-sections tables,fig7-9,tableIV,fig10,fig11,fig12,fig13,area]
+//	hoopbench [-quick] [-seed N] [-parallel N] [-sections tables,fig7-9,tableIV,fig10,fig11,fig12,fig13,area]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
+	"time"
 
 	"hoop/internal/harness"
 )
@@ -21,11 +23,12 @@ func main() {
 	seed := flag.Uint64("seed", 1, "experiment PRNG seed")
 	charts := flag.Bool("charts", false, "also render each grid as ASCII bar charts")
 	artifacts := flag.String("artifacts", "", "directory to write per-figure JSON artifacts into")
+	parallel := flag.Int("parallel", 0, "simulation cells run concurrently (0 = GOMAXPROCS); results are identical for every value")
 	sections := flag.String("sections", strings.Join(harness.AllSections, ","),
 		"comma-separated experiment sections to run (extras: "+strings.Join(harness.ExtraSections, ", ")+")")
 	flag.Parse()
 
-	opts := harness.Options{Quick: *quick, Seed: *seed, Charts: *charts, ArtifactDir: *artifacts}
+	opts := harness.Options{Quick: *quick, Seed: *seed, Charts: *charts, ArtifactDir: *artifacts, Workers: *parallel}
 	var secs []string
 	for _, s := range strings.Split(*sections, ",") {
 		s = strings.TrimSpace(s)
@@ -46,9 +49,15 @@ func main() {
 		secs = append(secs, s)
 	}
 
-	fmt.Printf("HOOP reproduction benchmark harness (quick=%v, seed=%d)\n", *quick, *seed)
+	workers := *parallel
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	fmt.Printf("HOOP reproduction benchmark harness (quick=%v, seed=%d, workers=%d)\n", *quick, *seed, workers)
+	start := time.Now()
 	if _, err := harness.RunSections(os.Stdout, opts, secs); err != nil {
 		fmt.Fprintf(os.Stderr, "hoopbench: %v\n", err)
 		os.Exit(1)
 	}
+	fmt.Printf("\ntotal wall-clock: %.1fs\n", time.Since(start).Seconds())
 }

@@ -5,68 +5,82 @@
 //
 // Usage:
 //
-//	hooprecover [-mb 256] [-threads 1,2,4,8,16] [-bw 15]
+//	hooprecover [-mb 256] [-threads 1,2,4,8,16] [-bw 15] [-scheme HOOP]
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
 
 	"hoop/internal/engine"
 	"hoop/internal/hoop"
+	"hoop/internal/persist"
 	"hoop/internal/sim"
 )
 
 func main() {
-	mb := flag.Int("mb", 256, "OOP region fill size in MiB")
-	threadsFlag := flag.String("threads", "1,2,4,8,16", "recovery thread counts")
-	bw := flag.Int("bw", 15, "NVM bandwidth in GB/s")
-	flag.Parse()
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "hooprecover: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("hooprecover", flag.ContinueOnError)
+	mb := fs.Int("mb", 256, "OOP region fill size in MiB")
+	threadsFlag := fs.String("threads", "1,2,4,8,16", "recovery thread counts")
+	bw := fs.Int("bw", 15, "NVM bandwidth in GB/s")
+	scheme := fs.String("scheme", engine.SchemeHOOP, "persistence scheme (must implement persist.RecoveryScanner)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	var threads []int
 	for _, s := range strings.Split(*threadsFlag, ",") {
 		v, err := strconv.Atoi(strings.TrimSpace(s))
 		if err != nil || v < 1 {
-			fmt.Fprintf(os.Stderr, "bad thread count %q\n", s)
-			os.Exit(2)
+			return fmt.Errorf("bad thread count %q", s)
 		}
 		threads = append(threads, v)
 	}
 
-	cfg := engine.DefaultConfig(engine.SchemeHOOP)
+	cfg := engine.DefaultConfig(*scheme)
 	cfg.NVM.Bandwidth = int64(*bw) << 30
 	cfg.Hoop.CommitLogBytes = 64 << 20
 	cfg.Hoop.GCPeriod = sim.Second // keep the fill un-migrated
 	sys, err := engine.New(cfg)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "hooprecover: %v\n", err)
-		os.Exit(1)
+		return err
 	}
-	hs := sys.Scheme().(*hoop.Scheme)
+	hs, ok := sys.Scheme().(persist.RecoveryScanner)
+	if !ok {
+		return fmt.Errorf("scheme %s implements no persist.RecoveryScanner; the recovery demo needs an instrumented out-of-place recovery scan (try -scheme %s)",
+			*scheme, engine.SchemeHOOP)
+	}
 
 	const wordsPerTx = 64
 	numTxs := (*mb << 20) / (8 * hoop.SliceSize)
-	fmt.Printf("filling %d MiB of OOP region (%d committed transactions)...\n", *mb, numTxs)
+	fmt.Fprintf(out, "filling %d MiB of OOP region (%d committed transactions)...\n", *mb, numTxs)
 	if _, err := hs.SyntheticFill(numTxs, wordsPerTx, 64<<20, 42); err != nil {
-		fmt.Fprintf(os.Stderr, "hooprecover: %v\n", err)
-		os.Exit(1)
+		return err
 	}
 
-	fmt.Println("power failure! recovering...")
+	fmt.Fprintln(out, "power failure! recovering...")
 	sys.Crash()
 	rep, err := hs.RecoverWithReport(threads[len(threads)-1])
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "hooprecover: recovery failed: %v\n", err)
-		os.Exit(1)
+		return fmt.Errorf("recovery failed: %w", err)
 	}
-	fmt.Printf("functional recovery done: %d transactions, %d slices scanned, %d words restored\n",
+	fmt.Fprintf(out, "functional recovery done: %d transactions, %d slices scanned, %d words restored\n",
 		rep.CommittedTxs, rep.SlicesScanned, rep.WordsRecovered)
-	fmt.Printf("\nmodeled recovery time at %d GB/s:\n", *bw)
+	fmt.Fprintf(out, "\nmodeled recovery time at %d GB/s:\n", *bw)
 	for _, t := range threads {
 		d := hoop.ModelRecoveryTime(rep, t, int64(*bw)<<30)
-		fmt.Printf("  %2d threads: %8.1f ms\n", t, d.Milliseconds())
+		fmt.Fprintf(out, "  %2d threads: %8.1f ms\n", t, d.Milliseconds())
 	}
+	return nil
 }

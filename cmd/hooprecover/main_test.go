@@ -1,0 +1,39 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"hoop/internal/engine"
+)
+
+func TestRunRejectsSchemeWithoutRecoveryScanner(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-scheme", engine.SchemeRedo, "-mb", "1"}, &out)
+	if err == nil {
+		t.Fatal("expected an error for a scheme without an instrumented recovery scan")
+	}
+	if !strings.Contains(err.Error(), "RecoveryScanner") {
+		t.Fatalf("error should name the missing capability, got: %v", err)
+	}
+}
+
+func TestRunRecoversSmallFill(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-mb", "1", "-threads", "1,2"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{"functional recovery done", "modeled recovery time"} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestRunRejectsBadThreads(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-threads", "0"}, &out); err == nil {
+		t.Fatal("expected an error for a non-positive thread count")
+	}
+}

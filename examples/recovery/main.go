@@ -12,6 +12,7 @@ import (
 
 	"hoop/internal/engine"
 	"hoop/internal/hoop"
+	"hoop/internal/persist"
 	"hoop/internal/sim"
 )
 
@@ -26,7 +27,10 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	hs := sys.Scheme().(*hoop.Scheme)
+	hs, ok := sys.Scheme().(persist.RecoveryScanner)
+	if !ok {
+		log.Fatalf("scheme %s implements no persist.RecoveryScanner", cfg.Scheme)
+	}
 
 	numTxs := (*mb << 20) / (8 * hoop.SliceSize)
 	fmt.Printf("committing %d transactions (%d MiB of memory slices, none migrated yet)...\n", numTxs, *mb)

@@ -12,6 +12,7 @@
 package lad
 
 import (
+	"fmt"
 	"sort"
 
 	"hoop/internal/cache"
@@ -58,8 +59,20 @@ func New(ctx persist.Context) *Scheme {
 	}
 }
 
+// SchemeName is the registry name and figure label of this baseline.
+const SchemeName = "LAD"
+
+func init() {
+	persist.Register(SchemeName, func(ctx persist.Context, opt any) (persist.Scheme, error) {
+		if opt != nil {
+			return nil, fmt.Errorf("lad: scheme takes no options, got %T", opt)
+		}
+		return New(ctx), nil
+	})
+}
+
 // Name implements persist.Scheme.
-func (s *Scheme) Name() string { return "LAD" }
+func (s *Scheme) Name() string { return SchemeName }
 
 // Properties implements persist.Scheme.
 func (s *Scheme) Properties() persist.Properties {

@@ -105,6 +105,25 @@ func New(ctx persist.Context, cfg Config) (*Scheme, error) {
 	return s, nil
 }
 
+// SchemeName is the registry name and figure label of this baseline.
+const SchemeName = "LSM"
+
+func init() {
+	persist.Register(SchemeName, func(ctx persist.Context, opt any) (persist.Scheme, error) {
+		cfg := DefaultConfig()
+		switch o := opt.(type) {
+		case nil:
+		case Config:
+			cfg = o
+		default:
+			return nil, fmt.Errorf("lsm: options must be lsm.Config, got %T", opt)
+		}
+		return New(ctx, cfg)
+	})
+}
+
+var _ persist.Quiescer = (*Scheme)(nil)
+
 // Name implements persist.Scheme.
 func (s *Scheme) Name() string { return "LSM" }
 
@@ -255,6 +274,9 @@ func (s *Scheme) Tick(now sim.Time) {
 // ForceGC runs a GC pass immediately (harness: close a measurement window
 // with migration traffic accounted, mirroring hoop.Scheme.ForceGC).
 func (s *Scheme) ForceGC(now sim.Time) { s.runGC(now) }
+
+// Quiesce implements persist.Quiescer: drain the deferred log GC.
+func (s *Scheme) Quiesce(now sim.Time) { s.ForceGC(now) }
 
 // runGC migrates the newest committed value of every logged word to its
 // home address, then resets the log under a new epoch. It requires no live

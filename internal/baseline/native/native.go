@@ -6,6 +6,8 @@
 package native
 
 import (
+	"fmt"
+
 	"hoop/internal/cache"
 	"hoop/internal/mem"
 	"hoop/internal/persist"
@@ -21,8 +23,20 @@ type Scheme struct {
 // New builds the native scheme.
 func New(ctx persist.Context) *Scheme { return &Scheme{ctx: ctx} }
 
+// SchemeName is the registry name and figure label of this baseline.
+const SchemeName = "Ideal"
+
+func init() {
+	persist.Register(SchemeName, func(ctx persist.Context, opt any) (persist.Scheme, error) {
+		if opt != nil {
+			return nil, fmt.Errorf("native: scheme takes no options, got %T", opt)
+		}
+		return New(ctx), nil
+	})
+}
+
 // Name implements persist.Scheme.
-func (s *Scheme) Name() string { return "Ideal" }
+func (s *Scheme) Name() string { return SchemeName }
 
 // Properties implements persist.Scheme. The native system provides no
 // durability, so the Table I attributes describe its raw behaviour.

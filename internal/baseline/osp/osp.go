@@ -10,6 +10,7 @@
 package osp
 
 import (
+	"fmt"
 	"sort"
 
 	"hoop/internal/cache"
@@ -48,6 +49,10 @@ type Scheme struct {
 	// shadowCur mirrors the durable bitmap: lines whose current copy is
 	// the shadow one.
 	shadowCur map[uint64]struct{}
+	// consQ orders shadowCur for consolidation (oldest flip first).
+	// Iterating the map directly would consolidate a different batch every
+	// run — Go randomizes map order — breaking simulation determinism.
+	consQ     []uint64
 	nextCons  sim.Time
 	consAgent int
 }
@@ -65,8 +70,27 @@ func New(ctx persist.Context) *Scheme {
 	}
 }
 
+// SchemeName is the registry name and figure label of this baseline.
+const SchemeName = "OSP"
+
+func init() {
+	persist.Register(SchemeName, func(ctx persist.Context, opt any) (persist.Scheme, error) {
+		if opt != nil {
+			return nil, fmt.Errorf("osp: scheme takes no options, got %T", opt)
+		}
+		return New(ctx), nil
+	})
+}
+
+var _ persist.Quiescer = (*Scheme)(nil)
+
 // Name implements persist.Scheme.
-func (s *Scheme) Name() string { return "OSP" }
+func (s *Scheme) Name() string { return SchemeName }
+
+// Quiesce implements persist.Quiescer: consolidate every shadow-current
+// line so a measurement window closes with the deferred copy traffic
+// accounted.
+func (s *Scheme) Quiesce(now sim.Time) { s.ForceConsolidate(now) }
 
 // Properties implements persist.Scheme (Table I, SSP row).
 func (s *Scheme) Properties() persist.Properties {
@@ -91,6 +115,9 @@ func (s *Scheme) setCurrent(line uint64, shadow bool) mem.PAddr {
 	s.ctx.Dev.Store().Read(at, b[:])
 	if shadow {
 		b[0] |= mask
+		if _, ok := s.shadowCur[line]; !ok {
+			s.consQ = append(s.consQ, line)
+		}
 		s.shadowCur[line] = struct{}{}
 	} else {
 		b[0] &^= mask
@@ -221,11 +248,14 @@ func (s *Scheme) ForceConsolidate(now sim.Time) {
 }
 
 func (s *Scheme) consolidate(now sim.Time, batch int) {
-	lines := make([]uint64, 0, len(s.shadowCur))
-	for l := range s.shadowCur {
-		lines = append(lines, l)
-		if len(lines) >= batch {
-			break
+	// Pop the oldest still-shadow-current lines; entries flipped back by a
+	// later transaction are dropped lazily.
+	lines := make([]uint64, 0, batch)
+	for len(s.consQ) > 0 && len(lines) < batch {
+		l := s.consQ[0]
+		s.consQ = s.consQ[1:]
+		if s.isShadowCurrent(l) {
+			lines = append(lines, l)
 		}
 	}
 	sort.Slice(lines, func(i, j int) bool { return lines[i] < lines[j] })
@@ -248,6 +278,7 @@ func (s *Scheme) Crash() {
 		s.txLines[i] = nil
 	}
 	s.shadowCur = make(map[uint64]struct{})
+	s.consQ = nil
 	s.ctx.Ctrl.ResetPending()
 }
 
@@ -288,6 +319,7 @@ func (s *Scheme) Recover(threads int) (sim.Duration, error) {
 	// Clear the bitmap durably.
 	store.ZeroRange(s.bitmapBase, uint64(bitmapEnd-s.bitmapBase))
 	s.shadowCur = make(map[uint64]struct{})
+	s.consQ = nil
 	bw := s.ctx.Dev.Params().Bandwidth
 	modeled := sim.Duration(1*sim.Millisecond) +
 		sim.Duration((scanned+2*consolidated)*int64(sim.Second)/bw)

@@ -80,8 +80,27 @@ func New(ctx persist.Context) (*Scheme, error) {
 	}, nil
 }
 
+// SchemeName is the registry name and figure label of this baseline.
+const SchemeName = "Opt-Redo"
+
+func init() {
+	persist.Register(SchemeName, func(ctx persist.Context, opt any) (persist.Scheme, error) {
+		if opt != nil {
+			return nil, fmt.Errorf("redo: scheme takes no options, got %T", opt)
+		}
+		return New(ctx)
+	})
+}
+
+var _ persist.Quiescer = (*Scheme)(nil)
+
 // Name implements persist.Scheme.
-func (s *Scheme) Name() string { return "Opt-Redo" }
+func (s *Scheme) Name() string { return SchemeName }
+
+// Quiesce implements persist.Quiescer: drain the whole checkpoint queue so
+// a measurement window closes with the deferred truncation traffic
+// accounted.
+func (s *Scheme) Quiesce(now sim.Time) { s.forceCheckpoint(now) }
 
 // Properties implements persist.Scheme (Table I, WrAP row).
 func (s *Scheme) Properties() persist.Properties {

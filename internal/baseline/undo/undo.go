@@ -62,8 +62,20 @@ func New(ctx persist.Context) (*Scheme, error) {
 	}, nil
 }
 
+// SchemeName is the registry name and figure label of this baseline.
+const SchemeName = "Opt-Undo"
+
+func init() {
+	persist.Register(SchemeName, func(ctx persist.Context, opt any) (persist.Scheme, error) {
+		if opt != nil {
+			return nil, fmt.Errorf("undo: scheme takes no options, got %T", opt)
+		}
+		return New(ctx)
+	})
+}
+
 // Name implements persist.Scheme.
-func (s *Scheme) Name() string { return "Opt-Undo" }
+func (s *Scheme) Name() string { return SchemeName }
 
 // Properties implements persist.Scheme (Table I, ATOM row).
 func (s *Scheme) Properties() persist.Properties {

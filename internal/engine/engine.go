@@ -13,12 +13,6 @@ package engine
 import (
 	"fmt"
 
-	"hoop/internal/baseline/lad"
-	"hoop/internal/baseline/lsm"
-	"hoop/internal/baseline/native"
-	"hoop/internal/baseline/osp"
-	"hoop/internal/baseline/redo"
-	"hoop/internal/baseline/undo"
 	"hoop/internal/cache"
 	"hoop/internal/hoop"
 	"hoop/internal/mem"
@@ -26,17 +20,27 @@ import (
 	"hoop/internal/nvm"
 	"hoop/internal/persist"
 	"hoop/internal/sim"
+
+	// The built-in schemes register themselves with the persist registry
+	// from init(); the engine holds no per-scheme construction code. hoop
+	// and lsm are imported above for their Config types.
+	"hoop/internal/baseline/lad"
+	"hoop/internal/baseline/lsm"
+	"hoop/internal/baseline/native"
+	"hoop/internal/baseline/osp"
+	"hoop/internal/baseline/redo"
+	"hoop/internal/baseline/undo"
 )
 
 // Scheme names accepted by Config.Scheme, matching the paper's figures.
 const (
-	SchemeHOOP   = "HOOP"
-	SchemeRedo   = "Opt-Redo"
-	SchemeUndo   = "Opt-Undo"
-	SchemeOSP    = "OSP"
-	SchemeLSM    = "LSM"
-	SchemeLAD    = "LAD"
-	SchemeNative = "Ideal"
+	SchemeHOOP   = hoop.SchemeName
+	SchemeRedo   = redo.SchemeName
+	SchemeUndo   = undo.SchemeName
+	SchemeOSP    = osp.SchemeName
+	SchemeLSM    = lsm.SchemeName
+	SchemeLAD    = lad.SchemeName
+	SchemeNative = native.SchemeName
 )
 
 // AllSchemes lists every scheme in the order the paper's figures use.
@@ -61,6 +65,11 @@ type Config struct {
 
 	Hoop hoop.Config
 	LSM  lsm.Config
+
+	// SchemeOpts carries construction options for registered schemes
+	// beyond the typed Hoop/LSM fields above, keyed by scheme name. An
+	// entry for a built-in scheme's name overrides the typed field.
+	SchemeOpts map[string]any
 
 	// TrackOracle records committed writes into a shadow store so crash
 	// tests can verify recovery; costs memory, off by default.
@@ -89,6 +98,22 @@ func DefaultConfig(scheme string) Config {
 		LSM:     lsm.DefaultConfig(),
 		OpCost:  25 * sim.Nanosecond,
 	}
+}
+
+// schemeOpt resolves the construction options handed to persist.Build for
+// the configured scheme: the typed Hoop/LSM fields, overridable (and
+// extensible for out-of-tree schemes) through SchemeOpts.
+func (c Config) schemeOpt() any {
+	if opt, ok := c.SchemeOpts[c.Scheme]; ok {
+		return opt
+	}
+	switch c.Scheme {
+	case SchemeHOOP:
+		return c.Hoop
+	case SchemeLSM:
+		return c.LSM
+	}
+	return nil
 }
 
 // writeRec is one committed-oracle record.
@@ -168,28 +193,9 @@ func New(cfg Config) (*System, error) {
 		Stats:  stats,
 		View:   view,
 	}
-	var scheme persist.Scheme
-	var err error
-	switch cfg.Scheme {
-	case SchemeHOOP:
-		scheme, err = hoop.New(ctx, cfg.Hoop)
-	case SchemeRedo:
-		scheme, err = redo.New(ctx)
-	case SchemeUndo:
-		scheme, err = undo.New(ctx)
-	case SchemeOSP:
-		scheme = osp.New(ctx)
-	case SchemeLSM:
-		scheme, err = lsm.New(ctx, cfg.LSM)
-	case SchemeLAD:
-		scheme = lad.New(ctx)
-	case SchemeNative:
-		scheme = native.New(ctx)
-	default:
-		return nil, fmt.Errorf("engine: unknown scheme %q", cfg.Scheme)
-	}
+	scheme, err := persist.Build(ctx, cfg.Scheme, cfg.schemeOpt())
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("engine: %w", err)
 	}
 	s := &System{
 		cfg:      cfg,
@@ -227,8 +233,10 @@ func (s *System) Config() Config { return s.cfg }
 // Stats exposes the counter registry.
 func (s *System) Stats() *sim.Stats { return s.stats }
 
-// Scheme exposes the persistence scheme (e.g. to reach HOOP-specific
-// methods like DataReduction).
+// Scheme exposes the persistence scheme. Scheme-specific machinery (GC,
+// consolidation, recovery scanning) is reached through the optional
+// capability interfaces in package persist — Quiescer, GCReporter,
+// RecoveryScanner — never by asserting on a concrete scheme type.
 func (s *System) Scheme() persist.Scheme { return s.scheme }
 
 // Device exposes the NVM device (energy, wear, sensitivity knobs).

@@ -5,7 +5,7 @@ import (
 	"testing"
 
 	"hoop/internal/engine"
-	"hoop/internal/hoop"
+	"hoop/internal/persist"
 	"hoop/internal/pmem"
 	"hoop/internal/sim"
 	"hoop/internal/structures"
@@ -159,8 +159,15 @@ func TestHoopGCReducesData(t *testing.T) {
 	}
 	runners := newMapRunners(t, sys, 64)
 	sys.Run(runners, 2000)
-	hs := sys.Scheme().(*hoop.Scheme)
-	hs.ForceGC(sys.MaxClock())
+	q, ok := sys.Scheme().(persist.Quiescer)
+	if !ok {
+		t.Fatal("HOOP must implement persist.Quiescer")
+	}
+	q.Quiesce(sys.MaxClock())
+	hs, ok := sys.Scheme().(persist.GCReporter)
+	if !ok {
+		t.Fatal("HOOP must implement persist.GCReporter")
+	}
 	if hs.GCModifiedBytes() == 0 {
 		t.Fatal("GC scanned nothing")
 	}

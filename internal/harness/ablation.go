@@ -47,18 +47,24 @@ func Ablation(opts Options) (*Grid, error) {
 	for _, wl := range workloads {
 		g.Cols = append(g.Cols, wl.Name+" tput", wl.Name+" traffic")
 	}
-	base := make([]Metrics, len(workloads))
+	var cells []Cell
+	for _, v := range variants {
+		for _, wl := range workloads {
+			cells = append(cells, Cell{
+				Scheme: engine.SchemeHOOP, Workload: wl, Txs: txs, Seed: opts.Seed + 13, Mut: v.mut,
+			})
+		}
+	}
+	mets, _, err := RunCells(cells, opts.workers())
+	if err != nil {
+		return nil, err
+	}
+	base := mets[:len(workloads)] // variant 0 is full HOOP
 	for vi, v := range variants {
 		g.Rows = append(g.Rows, v.name)
 		row := make([]float64, 0, 2*len(workloads))
-		for wi, wl := range workloads {
-			met, err := runCell(engine.SchemeHOOP, wl, txs, opts.Seed+13, v.mut)
-			if err != nil {
-				return nil, err
-			}
-			if vi == 0 {
-				base[wi] = met
-			}
+		for wi := range workloads {
+			met := mets[vi*len(workloads)+wi]
 			row = append(row,
 				met.Throughput()/base[wi].Throughput(),
 				met.WritesPerTx()/base[wi].WritesPerTx())

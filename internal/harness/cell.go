@@ -1,0 +1,163 @@
+package harness
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hoop/internal/engine"
+	"hoop/internal/persist"
+	"hoop/internal/workload"
+)
+
+// Cell is one independent (scheme × workload) simulation job: every cell
+// builds its own engine.System (own sim.Stats, mem.Store, PRNGs), so cells
+// share no mutable state and can execute in any order — or concurrently —
+// without changing a single measured number. Every figure and table of the
+// evaluation decomposes into cells.
+type Cell struct {
+	Scheme   string
+	Workload workload.Workload
+	Txs      int
+	Seed     uint64
+	// Mut, when non-nil, adjusts the paper-default configuration before
+	// the system is built (GC period sweeps, NVM latency sweeps, ...).
+	Mut func(*engine.Config)
+}
+
+// CellStats summarizes one worker-pool run over a batch of cells.
+type CellStats struct {
+	Cells   int
+	Workers int
+	// Wall is the elapsed wall-clock of the whole batch; CellSum is the
+	// summed per-cell wall-clock (the serial-equivalent cost). Their ratio
+	// is the multi-core speedup the pool achieved.
+	Wall    time.Duration
+	CellSum time.Duration
+	MaxCell time.Duration
+}
+
+// Speedup reports CellSum / Wall — how much faster the batch ran than a
+// strictly sequential execution of the same cells.
+func (s CellStats) Speedup() float64 {
+	if s.Wall <= 0 {
+		return 1
+	}
+	return float64(s.CellSum) / float64(s.Wall)
+}
+
+func (s CellStats) String() string {
+	avg := time.Duration(0)
+	if s.Cells > 0 {
+		avg = s.CellSum / time.Duration(s.Cells)
+	}
+	return fmt.Sprintf("%d cells on %d workers: wall %.1fs, serial-equivalent %.1fs (%.1fx), avg cell %.2fs, max cell %.2fs",
+		s.Cells, s.Workers, s.Wall.Seconds(), s.CellSum.Seconds(), s.Speedup(), avg.Seconds(), s.MaxCell.Seconds())
+}
+
+// RunCells executes every cell on a bounded worker pool and returns the
+// per-cell metrics in input order. workers < 1 means runtime.GOMAXPROCS.
+// Because cells are fully independent and seeded individually, the results
+// are bit-identical for every worker count; only wall-clock changes.
+func RunCells(cells []Cell, workers int) ([]Metrics, CellStats, error) {
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(cells) {
+		workers = len(cells)
+	}
+	stats := CellStats{Cells: len(cells), Workers: workers}
+	if len(cells) == 0 {
+		return nil, stats, nil
+	}
+	start := time.Now()
+	results := make([]Metrics, len(cells))
+	walls := make([]time.Duration, len(cells))
+	errs := make([]error, len(cells))
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(cells) {
+					return
+				}
+				c := cells[i]
+				cellStart := time.Now()
+				results[i], errs[i] = runCell(c.Scheme, c.Workload, c.Txs, c.Seed, c.Mut)
+				walls[i] = time.Since(cellStart)
+			}
+		}()
+	}
+	wg.Wait()
+	stats.Wall = time.Since(start)
+	for i, d := range walls {
+		stats.CellSum += d
+		if d > stats.MaxCell {
+			stats.MaxCell = d
+		}
+		if errs[i] != nil {
+			return nil, stats, fmt.Errorf("harness: %s on %s: %w", cells[i].Workload.Name, cells[i].Scheme, errs[i])
+		}
+	}
+	return results, stats, nil
+}
+
+// buildSystem constructs a paper-default system with the given scheme,
+// applying mut (which may be nil) before construction.
+func buildSystem(scheme string, mut func(*engine.Config)) (*engine.System, error) {
+	cfg := engine.DefaultConfig(scheme)
+	if mut != nil {
+		mut(&cfg)
+	}
+	return engine.New(cfg)
+}
+
+// runCell executes txs transactions of w on a fresh system and returns the
+// measurement window.
+func runCell(schemeName string, w workload.Workload, txs int, seed uint64, mut func(*engine.Config)) (Metrics, error) {
+	sys, err := buildSystem(schemeName, mut)
+	if err != nil {
+		return Metrics{}, err
+	}
+	runners := w.Runners(sys, seed)
+	return measureWindow(sys, runners, txs), nil
+}
+
+// quiesceTicks bounds the Tick catch-up loop that lets epoch-driven
+// background machinery observe the drained state.
+const quiesceTicks = 64
+
+// quiesce closes off in-flight work at a measurement boundary: still-cached
+// dirty data is written back through the scheme, deferred background
+// machinery (GC, consolidation, checkpointing) is drained through the
+// scheme's persist.Quiescer hook, and the scheme ticks until idle.
+func quiesce(sys *engine.System) {
+	sys.DrainCache()
+	if q, ok := sys.Scheme().(persist.Quiescer); ok {
+		q.Quiesce(sys.MaxClock())
+	}
+	for i := 0; i < quiesceTicks; i++ {
+		sys.Scheme().Tick(sys.MaxClock())
+	}
+}
+
+// measureWindow runs txs transactions on the runners inside a fairly closed
+// steady-state window: setup dirt is quiesced first (without letting the
+// quiesce burst backlog the window's first accesses), all threads enter at
+// the same simulated instant, and the window is closed by charging every
+// scheme for its still-cached dirty data and deferred migration traffic.
+func measureWindow(sys *engine.System, runners []engine.TxRunner, txs int) Metrics {
+	quiesce(sys)
+	sys.ResetMemoryQueues()
+	sys.SyncClocks()
+	before := takeSnapshot(sys)
+	sys.Run(runners, txs)
+	quiesce(sys)
+	return window(before, takeSnapshot(sys))
+}

@@ -1,0 +1,98 @@
+package harness
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"hoop/internal/engine"
+	"hoop/internal/workload"
+)
+
+// TestRunCellsMatchesSerial checks the pool's core guarantee: the measured
+// numbers are bit-identical whether cells run on one worker or many.
+func TestRunCellsMatchesSerial(t *testing.T) {
+	defer QuickTuning()()
+	var cells []Cell
+	for _, s := range []string{engine.SchemeHOOP, engine.SchemeRedo, engine.SchemeNative} {
+		for _, wl := range []workload.Workload{workload.HashMapWL(64), workload.QueueWL(64)} {
+			cells = append(cells, Cell{Scheme: s, Workload: wl, Txs: 200, Seed: 7})
+		}
+	}
+	serial, serialStats, err := RunCells(cells, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, parStats, err := RunCells(cells, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serialStats.Workers != 1 || parStats.Workers != 4 {
+		t.Fatalf("worker counts: serial=%d parallel=%d", serialStats.Workers, parStats.Workers)
+	}
+	if !reflect.DeepEqual(serial, parallel) {
+		for i := range serial {
+			if !reflect.DeepEqual(serial[i], parallel[i]) {
+				t.Errorf("cell %d (%s on %s) diverges:\nserial:   %+v\nparallel: %+v",
+					i, cells[i].Workload.Name, cells[i].Scheme, serial[i], parallel[i])
+			}
+		}
+		t.Fatal("parallel metrics must be bit-identical to serial")
+	}
+}
+
+func TestRunCellsPropagatesBuildErrors(t *testing.T) {
+	cells := []Cell{{Scheme: "no-such-scheme", Workload: workload.QueueWL(64), Txs: 10, Seed: 1}}
+	if _, _, err := RunCells(cells, 2); err == nil {
+		t.Fatal("unknown scheme must fail")
+	} else if !strings.Contains(err.Error(), "no-such-scheme") {
+		t.Fatalf("error should name the scheme: %v", err)
+	}
+}
+
+func TestRunCellsEmpty(t *testing.T) {
+	mets, stats, err := RunCells(nil, 8)
+	if err != nil || len(mets) != 0 || stats.Cells != 0 {
+		t.Fatalf("empty batch: mets=%v stats=%+v err=%v", mets, stats, err)
+	}
+}
+
+// TestParallelMatrixDeterminism runs a reduced paper matrix at workers=1
+// and workers=GOMAXPROCS and requires identical Metrics everywhere.
+func TestParallelMatrixDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("matrix run is seconds-long")
+	}
+	defer QuickTuning()()
+	workloads := []workload.Workload{workload.HashMapWL(64), workload.YCSB(64)}
+	opts := Options{Quick: true, Seed: 3}
+	opts.Workers = 1
+	m1, err := RunMatrixOn(opts, workloads, engine.AllSchemes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Workers = 0 // GOMAXPROCS
+	mN, err := RunMatrixOn(opts, workloads, engine.AllSchemes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(m1.Cells, mN.Cells) {
+		for _, w := range m1.Workloads {
+			for _, s := range m1.Schemes {
+				if !reflect.DeepEqual(m1.Cells[w][s], mN.Cells[w][s]) {
+					t.Errorf("%s on %s diverges between worker counts", w, s)
+				}
+			}
+		}
+		t.Fatal("matrix must be independent of worker count")
+	}
+	t.Logf("pool: %s", mN.Stats)
+}
+
+func TestWearOnRequiresQuiescer(t *testing.T) {
+	if _, err := WearOn(Options{Quick: true, Seed: 1}, engine.SchemeNative); err == nil {
+		t.Fatal("expected an error for a scheme without background migration")
+	} else if !strings.Contains(err.Error(), "Quiescer") {
+		t.Fatalf("error should name the missing capability, got: %v", err)
+	}
+}

@@ -5,6 +5,7 @@ import (
 
 	"hoop/internal/engine"
 	"hoop/internal/hoop"
+	"hoop/internal/persist"
 	"hoop/internal/sim"
 	"hoop/internal/workload"
 )
@@ -36,25 +37,29 @@ func Figure10(opts Options) (*Grid, error) {
 	for _, p := range periodsMS {
 		g.Cols = append(g.Cols, fmt.Sprintf("%gms", p))
 	}
+	var cells []Cell
 	for _, wl := range suite {
-		g.Rows = append(g.Rows, wl.Name)
-		row := make([]float64, 0, len(periodsMS))
-		var base float64
-		for i, p := range periodsMS {
+		for _, p := range periodsMS {
 			period := sim.Duration(p * scale * float64(sim.Millisecond))
-			met, err := runCell(engine.SchemeHOOP, wl, txs, opts.Seed+5,
-				func(c *engine.Config) {
+			cells = append(cells, Cell{
+				Scheme: engine.SchemeHOOP, Workload: wl, Txs: txs, Seed: opts.Seed + 5,
+				Mut: func(c *engine.Config) {
 					c.Hoop.GCPeriod = period
 					c.Hoop.CommitLogBytes = commitLog
-				})
-			if err != nil {
-				return nil, err
-			}
-			tput := met.Throughput()
-			if i == 0 {
-				base = tput
-			}
-			row = append(row, tput/base)
+				},
+			})
+		}
+	}
+	mets, _, err := RunCells(cells, opts.workers())
+	if err != nil {
+		return nil, err
+	}
+	for wi, wl := range suite {
+		g.Rows = append(g.Rows, wl.Name)
+		row := make([]float64, 0, len(periodsMS))
+		base := mets[wi*len(periodsMS)].Throughput()
+		for i := range periodsMS {
+			row = append(row, mets[wi*len(periodsMS)+i].Throughput()/base)
 		}
 		g.Cells = append(g.Cells, row)
 	}
@@ -65,8 +70,9 @@ func Figure10(opts Options) (*Grid, error) {
 // thread counts and NVM bandwidths. The region is filled with committed
 // but un-migrated transactions (1 GB as in the paper; 64 MB in Quick
 // mode), recovered once functionally (and verified replayable), and the
-// analytic model is evaluated over the grid.
-func Figure11(opts Options) (*Grid, hoop.RecoveryReport, error) {
+// analytic model is evaluated over the grid. The scheme must implement
+// persist.RecoveryScanner.
+func Figure11(opts Options) (*Grid, persist.RecoveryReport, error) {
 	fillBytes := int64(1 << 30)
 	if opts.Quick {
 		fillBytes = 64 << 20
@@ -79,18 +85,22 @@ func Figure11(opts Options) (*Grid, hoop.RecoveryReport, error) {
 	cfg.Hoop.GCPeriod = sim.Second // fill must stay un-migrated
 	sys, err := engine.New(cfg)
 	if err != nil {
-		return nil, hoop.RecoveryReport{}, err
+		return nil, persist.RecoveryReport{}, err
 	}
-	hs := sys.Scheme().(*hoop.Scheme)
+	hs, ok := sys.Scheme().(persist.RecoveryScanner)
+	if !ok {
+		return nil, persist.RecoveryReport{},
+			fmt.Errorf("harness: figure 11 needs a scheme with an instrumented recovery scan; %s implements no persist.RecoveryScanner", cfg.Scheme)
+	}
 	// A bounded address space yields recovery-time coalescing, as a skewed
 	// workload would.
 	if _, err := hs.SyntheticFill(numTxs, wordsPerTx, 64<<20, opts.Seed+7); err != nil {
-		return nil, hoop.RecoveryReport{}, err
+		return nil, persist.RecoveryReport{}, err
 	}
 	sys.Crash()
 	rep, err := hs.RecoverWithReport(8)
 	if err != nil {
-		return nil, hoop.RecoveryReport{}, err
+		return nil, persist.RecoveryReport{}, err
 	}
 
 	threads := []int{1, 2, 4, 8, 16}
@@ -132,25 +142,33 @@ func Figure12(opts Options) (*Grid, error) {
 	for _, l := range latencies {
 		g.Cols = append(g.Cols, fmt.Sprintf("%dns", l))
 	}
-	readRow := make([]float64, 0, len(latencies))
-	writeRow := make([]float64, 0, len(latencies))
+	var cells []Cell
 	for _, l := range latencies {
 		lat := sim.Duration(l) * sim.Nanosecond
-		met, err := runCell(engine.SchemeHOOP, wl, txs, opts.Seed+9,
-			func(c *engine.Config) { c.NVM.ReadLatency = lat })
-		if err != nil {
-			return nil, err
-		}
-		readRow = append(readRow, met.Throughput()/1e3)
-		met, err = runCell(engine.SchemeHOOP, wl, txs, opts.Seed+9,
-			func(c *engine.Config) {
+		cells = append(cells, Cell{
+			Scheme: engine.SchemeHOOP, Workload: wl, Txs: txs, Seed: opts.Seed + 9,
+			Mut: func(c *engine.Config) { c.NVM.ReadLatency = lat },
+		})
+	}
+	for _, l := range latencies {
+		lat := sim.Duration(l) * sim.Nanosecond
+		cells = append(cells, Cell{
+			Scheme: engine.SchemeHOOP, Workload: wl, Txs: txs, Seed: opts.Seed + 9,
+			Mut: func(c *engine.Config) {
 				c.NVM.ReadLatency = 50 * sim.Nanosecond
 				c.NVM.WriteLatency = lat
-			})
-		if err != nil {
-			return nil, err
-		}
-		writeRow = append(writeRow, met.Throughput()/1e3)
+			},
+		})
+	}
+	mets, _, err := RunCells(cells, opts.workers())
+	if err != nil {
+		return nil, err
+	}
+	readRow := make([]float64, 0, len(latencies))
+	writeRow := make([]float64, 0, len(latencies))
+	for i := range latencies {
+		readRow = append(readRow, mets[i].Throughput()/1e3)
+		writeRow = append(writeRow, mets[len(latencies)+i].Throughput()/1e3)
 	}
 	g.Rows = []string{"read latency (write=150ns)", "write latency (read=50ns)"}
 	g.Cells = [][]float64{readRow, writeRow}
@@ -183,20 +201,23 @@ func Figure13(opts Options) (*Grid, error) {
 			g.Cols = append(g.Cols, fmt.Sprintf("%dKB", s>>10))
 		}
 	}
+	var cells []Cell
+	for _, size := range sizes {
+		size := size
+		cells = append(cells, Cell{
+			Scheme: engine.SchemeHOOP, Workload: wl, Txs: txs, Seed: opts.Seed + 11,
+			Mut: func(c *engine.Config) { c.Hoop.MapTableBytes = size },
+		})
+	}
+	mets, _, err := RunCells(cells, opts.workers())
+	if err != nil {
+		return nil, err
+	}
 	var tputRow, gcRow []float64
-	var base float64
-	for i, size := range sizes {
-		met, err := runCell(engine.SchemeHOOP, wl, txs, opts.Seed+11,
-			func(c *engine.Config) { c.Hoop.MapTableBytes = size })
-		if err != nil {
-			return nil, err
-		}
-		t := met.Throughput()
-		if i == 0 {
-			base = t
-		}
-		tputRow = append(tputRow, t/base)
-		gcRow = append(gcRow, float64(met.Counters[sim.StatGCOnDemand]))
+	base := mets[0].Throughput()
+	for i := range sizes {
+		tputRow = append(tputRow, mets[i].Throughput()/base)
+		gcRow = append(gcRow, float64(mets[i].Counters[sim.StatGCOnDemand]))
 	}
 	g.Rows = []string{"throughput", "on-demand GCs"}
 	g.Cells = [][]float64{tputRow, gcRow}

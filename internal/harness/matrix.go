@@ -3,10 +3,7 @@ package harness
 import (
 	"fmt"
 
-	"hoop/internal/baseline/lsm"
-	"hoop/internal/baseline/osp"
 	"hoop/internal/engine"
-	"hoop/internal/hoop"
 	"hoop/internal/sim"
 	"hoop/internal/workload"
 )
@@ -18,58 +15,9 @@ type Matrix struct {
 	Workloads []string
 	Schemes   []string
 	Cells     map[string]map[string]Metrics // workload -> scheme -> metrics
-}
-
-// buildSystem constructs a paper-default system with the given scheme,
-// applying mut (which may be nil) before construction.
-func buildSystem(scheme string, mut func(*engine.Config)) (*engine.System, error) {
-	cfg := engine.DefaultConfig(scheme)
-	if mut != nil {
-		mut(&cfg)
-	}
-	return engine.New(cfg)
-}
-
-// runCell executes txs transactions of w on a fresh system and returns the
-// measurement window (setup excluded; a final GC pass is forced so
-// migration traffic is accounted in every scheme's window).
-func runCell(schemeName string, w workload.Workload, txs int, seed uint64, mut func(*engine.Config)) (Metrics, error) {
-	sys, err := buildSystem(schemeName, mut)
-	if err != nil {
-		return Metrics{}, err
-	}
-	runners := w.Runners(sys, seed)
-	// Quiesce setup state (drain setup dirt, settle migration machinery)
-	// so the window measures steady-state transactions only; the quiesce
-	// burst itself must not backlog the window's first accesses.
-	sys.DrainCache()
-	forceGC(sys)
-	sys.ResetMemoryQueues()
-	sys.SyncClocks()
-	before := takeSnapshot(sys)
-	sys.Run(runners, txs)
-	// Close the window fairly: charge every scheme for its still-cached
-	// dirty data, then let migration machinery settle.
-	sys.DrainCache()
-	forceGC(sys)
-	return window(before, takeSnapshot(sys)), nil
-}
-
-// forceGC closes the measurement window for the schemes with background
-// migration machinery, charging their deferred traffic.
-func forceGC(sys *engine.System) {
-	switch s := sys.Scheme().(type) {
-	case *hoop.Scheme:
-		s.ForceGC(sys.MaxClock())
-	case *lsm.Scheme:
-		s.ForceGC(sys.MaxClock())
-	case *osp.Scheme:
-		s.ForceConsolidate(sys.MaxClock())
-	}
-	// Redo's checkpointer drains through Tick.
-	for i := 0; i < 64; i++ {
-		sys.Scheme().Tick(sys.MaxClock())
-	}
+	// Stats describes the worker-pool execution of the matrix (wall-clock,
+	// not simulated time).
+	Stats CellStats
 }
 
 // RunMatrix measures every paper workload on every scheme.
@@ -77,19 +25,26 @@ func RunMatrix(opts Options) (*Matrix, error) {
 	return RunMatrixOn(opts, workload.PaperSuite(), engine.AllSchemes)
 }
 
-// RunMatrixOn measures the given workloads on the given schemes.
+// RunMatrixOn measures the given workloads on the given schemes, executing
+// the independent cells on opts.Workers workers.
 func RunMatrixOn(opts Options, workloads []workload.Workload, schemes []string) (*Matrix, error) {
-	m := &Matrix{Cells: map[string]map[string]Metrics{}}
+	var cells []Cell
 	for _, w := range workloads {
-		m.Workloads = append(m.Workloads, w.Name)
-		m.Cells[w.Name] = map[string]Metrics{}
 		for _, s := range schemes {
-			met, err := runCell(s, w, opts.txPerCell(), opts.Seed+1, nil)
-			if err != nil {
-				return nil, fmt.Errorf("harness: %s on %s: %w", w.Name, s, err)
-			}
-			m.Cells[w.Name][s] = met
+			cells = append(cells, Cell{Scheme: s, Workload: w, Txs: opts.txPerCell(), Seed: opts.Seed + 1})
 		}
+	}
+	mets, stats, err := RunCells(cells, opts.workers())
+	if err != nil {
+		return nil, err
+	}
+	m := &Matrix{Cells: map[string]map[string]Metrics{}, Stats: stats}
+	for i, c := range cells {
+		if m.Cells[c.Workload.Name] == nil {
+			m.Workloads = append(m.Workloads, c.Workload.Name)
+			m.Cells[c.Workload.Name] = map[string]Metrics{}
+		}
+		m.Cells[c.Workload.Name][c.Scheme] = mets[i]
 	}
 	m.Schemes = append(m.Schemes, schemes...)
 	return m, nil

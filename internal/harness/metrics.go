@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"runtime"
 	"strings"
 
 	"hoop/internal/engine"
@@ -28,6 +29,18 @@ type Options struct {
 	// ArtifactDir, when non-empty, receives one JSON file per grid for
 	// downstream plotting.
 	ArtifactDir string
+	// Workers bounds the worker pool that executes independent cells;
+	// zero or negative means runtime.GOMAXPROCS. Results are bit-identical
+	// for every worker count.
+	Workers int
+}
+
+// workers resolves the effective worker count (<=0 → GOMAXPROCS).
+func (o Options) workers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.GOMAXPROCS(0)
 }
 
 // txPerCell reports the measured transactions per (workload, scheme) cell.

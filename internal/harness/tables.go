@@ -136,19 +136,28 @@ func TableIV(opts Options) (*Grid, error) {
 	for _, wl := range suite {
 		g.Cols = append(g.Cols, wl.Name)
 	}
+	var cells []Cell
 	for _, n := range counts {
+		for _, wl := range suite {
+			cells = append(cells, Cell{
+				Scheme: engine.SchemeHOOP, Workload: wl, Txs: n, Seed: opts.Seed + 3,
+				Mut: func(c *engine.Config) {
+					// Let coalescing accumulate across the whole window:
+					// only the window-closing GC pass migrates.
+					c.Hoop.GCPeriod = sim.Second
+				},
+			})
+		}
+	}
+	mets, _, err := RunCells(cells, opts.workers())
+	if err != nil {
+		return nil, err
+	}
+	for ni, n := range counts {
 		g.Rows = append(g.Rows, fmt.Sprintf("%d", n))
 		row := make([]float64, 0, len(suite))
-		for _, wl := range suite {
-			met, err := runCell(engine.SchemeHOOP, wl, n, opts.Seed+3,
-				func(c *engine.Config) {
-					// Let coalescing accumulate across the whole window:
-					// only the window-closing ForceGC migrates.
-					c.Hoop.GCPeriod = sim.Second
-				})
-			if err != nil {
-				return nil, err
-			}
+		for wi := range suite {
+			met := mets[ni*len(suite)+wi]
 			mig := met.Counters[sim.StatGCBytesMigrated]
 			coal := met.Counters[sim.StatGCBytesCoalesed]
 			red := 0.0

@@ -7,8 +7,8 @@ import (
 	"sort"
 
 	"hoop/internal/engine"
-	"hoop/internal/hoop"
 	"hoop/internal/mem"
+	"hoop/internal/persist"
 	"hoop/internal/sim"
 	"hoop/internal/workload"
 )
@@ -34,13 +34,20 @@ type WearReport struct {
 // region to cycle through its blocks several times, then summarizes the
 // device's wear counters.
 func Wear(opts Options) (WearReport, error) {
+	return WearOn(opts, engine.SchemeHOOP)
+}
+
+// WearOn runs the wear experiment on the named scheme. The scheme must
+// implement persist.Quiescer so its deferred migration traffic lands inside
+// the measured region before the wear counters are read.
+func WearOn(opts Options, scheme string) (WearReport, error) {
 	// Enough transactions that slice allocation cycles through many 2 MB
 	// blocks (each transaction writes ~200 slice bytes).
 	txs := 400000
 	if opts.Quick {
 		txs = 100000
 	}
-	sys, err := buildSystem(engine.SchemeHOOP, func(c *engine.Config) {
+	sys, err := buildSystem(scheme, func(c *engine.Config) {
 		// A small region so blocks recycle many times within the run.
 		c.OOPBytes = 96 << 20
 		c.Hoop.CommitLogBytes = 1 << 20
@@ -49,10 +56,13 @@ func Wear(opts Options) (WearReport, error) {
 	if err != nil {
 		return WearReport{}, err
 	}
+	if _, ok := sys.Scheme().(persist.Quiescer); !ok {
+		return WearReport{}, fmt.Errorf("harness: wear experiment needs a scheme with background migration; %s implements no persist.Quiescer", scheme)
+	}
 	runners := workload.HashMapWL(64).Runners(sys, opts.Seed+17)
 	sys.ResetMemoryQueues()
 	sys.Run(runners, txs)
-	forceGC(sys)
+	quiesce(sys)
 
 	layout := sys.Layout()
 	// The data blocks start past the watermark+commit-log head; measuring
@@ -87,7 +97,6 @@ func Wear(opts Options) (WearReport, error) {
 	if total > 0 {
 		rep.HomeOOPRatio = float64(homeTotal) / float64(total)
 	}
-	_ = sys.Scheme().(*hoop.Scheme)
 	return rep, nil
 }
 

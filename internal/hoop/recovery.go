@@ -23,19 +23,10 @@ const (
 	recoveryBarrierCost = 50 * sim.Microsecond
 )
 
-// RecoveryReport describes what a recovery pass found and did.
-type RecoveryReport struct {
-	CommittedTxs   int   // commit records replayed (seq > watermark)
-	SlicesScanned  int   // data memory slices walked
-	WordsRecovered int   // distinct home words written back
-	ScanBytes      int64 // total bytes read during the pass
-	ApplyBytes     int64 // total bytes written during the pass
-	Threads        int
-	ModeledTime    sim.Duration
-}
-
-// lastReport is stored for harness inspection.
-var _ = RecoveryReport{}
+// RecoveryReport aliases the persist-level report type so HOOP's recovery
+// machinery satisfies persist.RecoveryScanner while existing callers keep
+// naming it hoop.RecoveryReport.
+type RecoveryReport = persist.RecoveryReport
 
 // Recover implements persist.Scheme. It rebuilds a consistent home region
 // purely from durable NVM contents (commit log, data slices, watermark),

@@ -1,0 +1,32 @@
+package hoop
+
+import (
+	"fmt"
+
+	"hoop/internal/persist"
+)
+
+// SchemeName is the registry name and figure label of HOOP.
+const SchemeName = "HOOP"
+
+func init() {
+	persist.Register(SchemeName, func(ctx persist.Context, opt any) (persist.Scheme, error) {
+		cfg := DefaultConfig()
+		switch o := opt.(type) {
+		case nil:
+		case Config:
+			cfg = o
+		default:
+			return nil, fmt.Errorf("hoop: options must be hoop.Config, got %T", opt)
+		}
+		return New(ctx, cfg)
+	})
+}
+
+// Compile-time capability checks: the harness reaches HOOP's GC and
+// recovery machinery through these interfaces only.
+var (
+	_ persist.Quiescer        = (*Scheme)(nil)
+	_ persist.GCReporter      = (*Scheme)(nil)
+	_ persist.RecoveryScanner = (*Scheme)(nil)
+)

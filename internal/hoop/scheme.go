@@ -200,7 +200,7 @@ func (s *Scheme) mcOf(a mem.PAddr) int {
 func (s *Scheme) Controllers() int { return s.nMC }
 
 // Name implements persist.Scheme.
-func (s *Scheme) Name() string { return "HOOP" }
+func (s *Scheme) Name() string { return SchemeName }
 
 // Properties implements persist.Scheme (Table I's HOOP row).
 func (s *Scheme) Properties() persist.Properties {
@@ -613,3 +613,6 @@ func (s *Scheme) PendingCommits() int { return len(s.pending) }
 // ForceGC runs a garbage-collection pass immediately (used by the harness
 // to flush coalescing state at the end of a measurement window).
 func (s *Scheme) ForceGC(now sim.Time) sim.Time { return s.runGC(now, false) }
+
+// Quiesce implements persist.Quiescer: drain the deferred GC work.
+func (s *Scheme) Quiesce(now sim.Time) { s.ForceGC(now) }

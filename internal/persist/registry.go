@@ -1,0 +1,70 @@
+package persist
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Factory constructs one scheme instance. opt carries scheme-specific
+// construction options (e.g. hoop.Config for "HOOP"); factories must accept
+// a nil opt and fall back to their package defaults, and should reject
+// options of an unexpected type with an error rather than ignore them.
+type Factory func(ctx Context, opt any) (Scheme, error)
+
+var registry = struct {
+	sync.RWMutex
+	m map[string]Factory
+}{m: map[string]Factory{}}
+
+// Register makes a scheme constructible by name through Build. Each scheme
+// package registers itself from init(), so importing a scheme package (the
+// engine blank-imports all built-ins) is all it takes to plug it in — the
+// engine has no per-scheme construction code. Register panics on an empty
+// name, a nil factory, or a duplicate registration: all three are
+// programming errors that should fail at process start, not at run time.
+func Register(name string, f Factory) {
+	if name == "" {
+		panic("persist: Register with empty scheme name")
+	}
+	if f == nil {
+		panic("persist: Register " + name + " with nil factory")
+	}
+	registry.Lock()
+	defer registry.Unlock()
+	if _, dup := registry.m[name]; dup {
+		panic("persist: scheme " + name + " registered twice")
+	}
+	registry.m[name] = f
+}
+
+// Build constructs the named scheme over ctx, passing opt through to the
+// scheme's registered factory. It fails with the list of registered names
+// when the scheme is unknown.
+func Build(ctx Context, name string, opt any) (Scheme, error) {
+	registry.RLock()
+	f, ok := registry.m[name]
+	registry.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("persist: unknown scheme %q (registered: %s)",
+			name, strings.Join(Registered(), ", "))
+	}
+	s, err := f(ctx, opt)
+	if err != nil {
+		return nil, fmt.Errorf("persist: build %s: %w", name, err)
+	}
+	return s, nil
+}
+
+// Registered reports every registered scheme name in sorted order.
+func Registered() []string {
+	registry.RLock()
+	defer registry.RUnlock()
+	names := make([]string, 0, len(registry.m))
+	for n := range registry.m {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,66 @@
+package persist
+
+import (
+	"strings"
+	"testing"
+)
+
+// stubScheme is a minimal Scheme for registry tests.
+type stubScheme struct{ Scheme }
+
+func (stubScheme) Name() string { return "stub" }
+
+func TestRegistryBuildAndErrors(t *testing.T) {
+	Register("test-stub", func(ctx Context, opt any) (Scheme, error) {
+		if opt != nil {
+			if _, ok := opt.(int); !ok {
+				t.Fatalf("factory got opt %T", opt)
+			}
+		}
+		return stubScheme{}, nil
+	})
+
+	s, err := Build(Context{}, "test-stub", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name() != "stub" {
+		t.Fatalf("built %q", s.Name())
+	}
+
+	if _, err := Build(Context{}, "no-such-scheme", nil); err == nil {
+		t.Fatal("unknown scheme must fail")
+	} else if !strings.Contains(err.Error(), "test-stub") {
+		t.Fatalf("error should list registered schemes: %v", err)
+	}
+
+	found := false
+	for _, n := range Registered() {
+		if n == "test-stub" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("Registered() = %v misses test-stub", Registered())
+	}
+}
+
+func TestRegisterRejectsDuplicatesAndNil(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	Register("test-dup", func(Context, any) (Scheme, error) { return stubScheme{}, nil })
+	mustPanic("duplicate", func() {
+		Register("test-dup", func(Context, any) (Scheme, error) { return stubScheme{}, nil })
+	})
+	mustPanic("empty name", func() {
+		Register("", func(Context, any) (Scheme, error) { return stubScheme{}, nil })
+	})
+	mustPanic("nil factory", func() { Register("test-nil", nil) })
+}
