@@ -10,6 +10,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"hoop/internal/engine"
@@ -18,43 +19,45 @@ import (
 )
 
 func main() {
-	scheme := flag.String("scheme", engine.SchemeHOOP, "persistence scheme (HOOP, Opt-Redo, Opt-Undo, OSP, LSM, LAD, Ideal)")
-	wlName := flag.String("workload", "hashmap-64", "workload name from Table III (e.g. vector-64, ycsb-1k, tpcc)")
-	txs := flag.Int("txs", 20000, "transactions to execute")
-	threads := flag.Int("threads", 8, "workload threads")
-	seed := flag.Uint64("seed", 1, "workload PRNG seed")
-	dumpStats := flag.Bool("stats", false, "dump every raw counter")
-	flag.Parse()
-
-	var wl workload.Workload
-	found := false
-	for _, w := range append(workload.PaperSuite(), workload.LargeItemSuite()...) {
-		if w.Name == *wlName {
-			wl = w
-			found = true
-		}
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "hoopsim: %v\n", err)
+		os.Exit(1)
 	}
-	if !found {
-		fmt.Fprintf(os.Stderr, "unknown workload %q; available:\n", *wlName)
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("hoopsim", flag.ContinueOnError)
+	scheme := fs.String("scheme", engine.SchemeHOOP, "persistence scheme (HOOP, Opt-Redo, Opt-Undo, OSP, LSM, LAD, Ideal)")
+	wlName := fs.String("workload", "hashmap-64", "workload name from Table III (e.g. vector-64, ycsb-1k, tpcc)")
+	txs := fs.Int("txs", 20000, "transactions to execute")
+	threads := fs.Int("threads", 8, "workload threads")
+	seed := fs.Uint64("seed", 1, "workload PRNG seed")
+	dumpStats := fs.Bool("stats", false, "dump every raw counter")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	wl, ok := findWorkload(*wlName)
+	if !ok {
+		names := ""
 		for _, w := range append(workload.PaperSuite(), workload.LargeItemSuite()...) {
-			fmt.Fprintf(os.Stderr, "  %s\n", w.Name)
+			names += "\n  " + w.Name
 		}
-		os.Exit(2)
+		return fmt.Errorf("unknown workload %q; available:%s", *wlName, names)
 	}
 
 	cfg := engine.DefaultConfig(*scheme)
 	cfg.Threads = *threads
 	sys, err := engine.New(cfg)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "hoopsim: %v\n", err)
-		os.Exit(1)
+		return err
 	}
-	fmt.Printf("scheme=%s workload=%s threads=%d txs=%d\n", *scheme, wl.Name, *threads, *txs)
-	fmt.Printf("device: %v\n", sys.Device())
+	fmt.Fprintf(out, "scheme=%s workload=%s threads=%d txs=%d\n", *scheme, wl.Name, *threads, *txs)
+	fmt.Fprintf(out, "device: %v\n", sys.Device())
 
 	runners := wl.Runners(sys, *seed)
 	setupTx := sys.TxCount()
-	fmt.Printf("setup: %d transactions\n", setupTx)
+	fmt.Fprintf(out, "setup: %d transactions\n", setupTx)
 	sys.ResetMemoryQueues()
 
 	start := sys.MaxClock()
@@ -64,22 +67,32 @@ func main() {
 	span := sys.MaxClock() - start
 
 	txsDone := sys.TxCount() - setupTx
-	fmt.Printf("\nresults over %d transactions:\n", txsDone)
-	fmt.Printf("  simulated span     %v\n", span)
-	fmt.Printf("  throughput         %.3f M tx/s\n", float64(txsDone)/span.Seconds()/1e6)
-	fmt.Printf("  avg tx latency     %v\n", (sys.TxLatencySum()-startLat)/sim.Duration(spanDiv(txsDone)))
+	fmt.Fprintf(out, "\nresults over %d transactions:\n", txsDone)
+	fmt.Fprintf(out, "  simulated span     %v\n", span)
+	fmt.Fprintf(out, "  throughput         %.3f M tx/s\n", float64(txsDone)/span.Seconds()/1e6)
+	fmt.Fprintf(out, "  avg tx latency     %v\n", (sys.TxLatencySum()-startLat)/sim.Duration(spanDiv(txsDone)))
 	h := sys.TxLatencyHistogram()
-	fmt.Printf("  latency p50/p90/p99 %v / %v / %v (all txs incl. setup)\n",
+	fmt.Fprintf(out, "  latency p50/p90/p99 %v / %v / %v (all txs incl. setup)\n",
 		h.Quantile(0.5), h.Quantile(0.9), h.Quantile(0.99))
-	fmt.Printf("  NVM bytes written  %d (%.0f per tx)\n",
+	fmt.Fprintf(out, "  NVM bytes written  %d (%.0f per tx)\n",
 		sys.Stats().Get("nvm.bytes_written")-startW,
 		float64(sys.Stats().Get("nvm.bytes_written")-startW)/float64(txsDone))
-	fmt.Printf("  NVM energy         %.1f uJ\n", sys.Device().TotalEnergyPJ()/1e6)
+	fmt.Fprintf(out, "  NVM energy         %.1f uJ\n", sys.Device().TotalEnergyPJ()/1e6)
 	loads, stores := sys.Ops()
-	fmt.Printf("  ops                %d loads, %d stores\n", loads, stores)
+	fmt.Fprintf(out, "  ops                %d loads, %d stores\n", loads, stores)
 	if *dumpStats {
-		fmt.Printf("\ncounters:\n%s", sys.Stats().String())
+		fmt.Fprintf(out, "\ncounters:\n%s", sys.Stats().String())
 	}
+	return nil
+}
+
+func findWorkload(name string) (workload.Workload, bool) {
+	for _, w := range append(workload.PaperSuite(), workload.LargeItemSuite()...) {
+		if w.Name == name {
+			return w, true
+		}
+	}
+	return workload.Workload{}, false
 }
 
 func spanDiv(n int64) (d int64) {

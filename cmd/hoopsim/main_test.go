@@ -1,0 +1,39 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunSmallWorkload(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-workload", "hashmap-64", "-txs", "200", "-threads", "2"}, &out); err != nil {
+		t.Fatalf("run: %v\noutput:\n%s", err, out.String())
+	}
+	for _, want := range []string{"scheme=HOOP", "results over 200 transactions", "throughput", "NVM bytes written"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestRunStatsDump(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-scheme", "Ideal", "-txs", "50", "-threads", "1", "-stats"}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(out.String(), "counters:") {
+		t.Fatalf("missing counter dump:\n%s", out.String())
+	}
+}
+
+func TestRunUnknownWorkload(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-workload", "no-such-workload"}, &out)
+	if err == nil || !strings.Contains(err.Error(), "unknown workload") {
+		t.Fatalf("expected unknown-workload error, got %v", err)
+	}
+	if !strings.Contains(err.Error(), "hashmap-64") {
+		t.Fatalf("error should list available workloads, got %v", err)
+	}
+}

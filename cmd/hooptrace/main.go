@@ -20,29 +20,26 @@ import (
 )
 
 func main() {
-	if len(os.Args) < 2 {
-		usage()
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "hooptrace: %v\n", err)
+		os.Exit(1)
 	}
-	switch os.Args[1] {
+}
+
+func run(args []string, out io.Writer) error {
+	if len(args) < 1 {
+		return fmt.Errorf("usage: hooptrace {record|dump|replay} [flags]")
+	}
+	switch args[0] {
 	case "record":
-		record(os.Args[2:])
+		return record(args[1:], out)
 	case "dump":
-		dump(os.Args[2:])
+		return dump(args[1:], out)
 	case "replay":
-		replay(os.Args[2:])
+		return replay(args[1:], out)
 	default:
-		usage()
+		return fmt.Errorf("unknown subcommand %q (usage: hooptrace {record|dump|replay} [flags])", args[0])
 	}
-}
-
-func usage() {
-	fmt.Fprintln(os.Stderr, "usage: hooptrace {record|dump|replay} [flags]")
-	os.Exit(2)
-}
-
-func fatal(err error) {
-	fmt.Fprintf(os.Stderr, "hooptrace: %v\n", err)
-	os.Exit(1)
 }
 
 func findWorkload(name string) (workload.Workload, bool) {
@@ -54,48 +51,53 @@ func findWorkload(name string) (workload.Workload, bool) {
 	return workload.Workload{}, false
 }
 
-func record(args []string) {
-	fs := flag.NewFlagSet("record", flag.ExitOnError)
+func record(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("record", flag.ContinueOnError)
 	wlName := fs.String("workload", "hashmap-64", "Table III workload to trace")
 	txs := fs.Int("txs", 5000, "transactions to record (setup transactions are recorded too)")
-	out := fs.String("o", "workload.trc", "output trace file")
+	outPath := fs.String("o", "workload.trc", "output trace file")
 	seed := fs.Uint64("seed", 1, "workload PRNG seed")
-	fs.Parse(args)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	wl, ok := findWorkload(*wlName)
 	if !ok {
-		fatal(fmt.Errorf("unknown workload %q", *wlName))
+		return fmt.Errorf("unknown workload %q", *wlName)
 	}
-	f, err := os.Create(*out)
+	f, err := os.Create(*outPath)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	defer f.Close()
 	rec := trace.NewRecorder(f)
 
 	sys, err := engine.New(engine.DefaultConfig(engine.SchemeNative))
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	sys.SetTracer(rec)
 	runners := wl.Runners(sys, *seed)
 	sys.Run(runners, *txs)
 	if err := rec.Flush(); err != nil {
-		fatal(err)
+		return err
 	}
-	fmt.Printf("recorded %d ops (%d transactions incl. setup) to %s\n",
-		rec.Count(), sys.TxCount(), *out)
+	fmt.Fprintf(out, "recorded %d ops (%d transactions incl. setup) to %s\n",
+		rec.Count(), sys.TxCount(), *outPath)
+	return f.Close()
 }
 
-func dump(args []string) {
-	fs := flag.NewFlagSet("dump", flag.ExitOnError)
+func dump(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("dump", flag.ContinueOnError)
 	in := fs.String("i", "workload.trc", "input trace file")
 	n := fs.Int("n", 40, "ops to print (0 = all)")
-	fs.Parse(args)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	f, err := os.Open(*in)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	defer f.Close()
 	r := trace.NewReader(f)
@@ -106,7 +108,7 @@ func dump(args []string) {
 			break
 		}
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		total++
 		switch op.Kind {
@@ -118,40 +120,44 @@ func dump(args []string) {
 			txs++
 		}
 		if *n == 0 || i < *n {
-			fmt.Println(op)
+			fmt.Fprintln(out, op)
 		}
 	}
 	if *n != 0 && total > int64(*n) {
-		fmt.Printf("... (%d more ops)\n", total-int64(*n))
+		fmt.Fprintf(out, "... (%d more ops)\n", total-int64(*n))
 	}
-	fmt.Printf("summary: %d ops, %d txs, %d loads, %d stores\n", total, txs, loads, stores)
+	fmt.Fprintf(out, "summary: %d ops, %d txs, %d loads, %d stores\n", total, txs, loads, stores)
+	return nil
 }
 
-func replay(args []string) {
-	fs := flag.NewFlagSet("replay", flag.ExitOnError)
+func replay(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("replay", flag.ContinueOnError)
 	in := fs.String("i", "workload.trc", "input trace file")
 	scheme := fs.String("scheme", engine.SchemeHOOP, "persistence scheme to replay against")
-	fs.Parse(args)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	f, err := os.Open(*in)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	defer f.Close()
 	sys, err := engine.New(engine.DefaultConfig(*scheme))
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	txs, err := trace.Replay(sys, f)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	span := sys.MaxClock()
-	fmt.Printf("replayed %d transactions on %s\n", txs, *scheme)
-	fmt.Printf("  simulated span    %v\n", span)
+	fmt.Fprintf(out, "replayed %d transactions on %s\n", txs, *scheme)
+	fmt.Fprintf(out, "  simulated span    %v\n", span)
 	if txs > 0 && span > 0 {
-		fmt.Printf("  throughput        %.3f M tx/s\n", float64(txs)/span.Seconds()/1e6)
-		fmt.Printf("  avg tx latency    %v\n", sys.TxLatencySum()/sim.Duration(txs))
+		fmt.Fprintf(out, "  throughput        %.3f M tx/s\n", float64(txs)/span.Seconds()/1e6)
+		fmt.Fprintf(out, "  avg tx latency    %v\n", sys.TxLatencySum()/sim.Duration(txs))
 	}
-	fmt.Printf("  NVM bytes written %d\n", sys.Stats().Get("nvm.bytes_written"))
+	fmt.Fprintf(out, "  NVM bytes written %d\n", sys.Stats().Get("nvm.bytes_written"))
+	return nil
 }

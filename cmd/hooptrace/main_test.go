@@ -1,0 +1,51 @@
+package main
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestRecordDumpReplayRoundtrip drives the full trace workflow through a
+// temp file: record a small workload, dump it, replay it on a different
+// scheme.
+func TestRecordDumpReplayRoundtrip(t *testing.T) {
+	trc := filepath.Join(t.TempDir(), "small.trc")
+
+	var out strings.Builder
+	if err := run([]string{"record", "-workload", "hashmap-64", "-txs", "100", "-o", trc}, &out); err != nil {
+		t.Fatalf("record: %v", err)
+	}
+	if !strings.Contains(out.String(), "recorded") {
+		t.Fatalf("record output:\n%s", out.String())
+	}
+
+	out.Reset()
+	if err := run([]string{"dump", "-i", trc, "-n", "5"}, &out); err != nil {
+		t.Fatalf("dump: %v", err)
+	}
+	if !strings.Contains(out.String(), "summary:") {
+		t.Fatalf("dump output:\n%s", out.String())
+	}
+
+	out.Reset()
+	if err := run([]string{"replay", "-i", trc, "-scheme", "Opt-Undo"}, &out); err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	if !strings.Contains(out.String(), "replayed") || !strings.Contains(out.String(), "Opt-Undo") {
+		t.Fatalf("replay output:\n%s", out.String())
+	}
+}
+
+func TestRunUsageErrors(t *testing.T) {
+	var out strings.Builder
+	if err := run(nil, &out); err == nil {
+		t.Fatal("expected usage error for no args")
+	}
+	if err := run([]string{"frobnicate"}, &out); err == nil || !strings.Contains(err.Error(), "unknown subcommand") {
+		t.Fatalf("expected unknown-subcommand error, got %v", err)
+	}
+	if err := run([]string{"dump", "-i", filepath.Join(t.TempDir(), "missing.trc")}, &out); err == nil {
+		t.Fatal("expected error for missing trace file")
+	}
+}

@@ -120,6 +120,12 @@ func (s *Scheme) TxEnd(core int, tx persist.TxID, now sim.Time) sim.Time {
 	}
 	sort.Slice(lines, func(i, j int) bool { return lines[i] < lines[j] })
 	var buf [mem.LineSize]byte
+	// The controller queues sit inside the persistence domain: once the
+	// commit handshake accepts the line set, the hardware drains it to NVM
+	// all-or-nothing even across power failure. The atomic-persist bracket
+	// tells the crash-point journal exactly that — LAD's atomicity is a
+	// hardware property, not a software ordering.
+	s.ctx.Dev.BeginAtomicPersist()
 	for _, l := range lines {
 		lineAddr := mem.PAddr(l << mem.LineShift)
 		s.ctx.View.Read(lineAddr, buf[:])
@@ -127,6 +133,7 @@ func (s *Scheme) TxEnd(core int, tx persist.TxID, now sim.Time) sim.Time {
 		s.ctx.Ctrl.PostWrite(core, lineAddr, mem.LineSize, now)
 		now += perLineTransfer
 	}
+	s.ctx.Dev.EndAtomicPersist()
 	if len(lines) > 0 {
 		// §IV-C: LAD "still persists data at cache-line granularity upon
 		// transaction commits" — the commit acknowledgment waits for the

@@ -80,10 +80,15 @@ func (r *Ring) Append(store *mem.Store, payload []byte) (seq uint64, at mem.PAdd
 	seq = r.nextSeq
 	r.nextSeq++
 	at = r.addr(seq)
+	// Payload first, 8-byte sequence header last: the header is the single
+	// atomic persist unit that makes the record valid. A crash anywhere
+	// mid-payload leaves the slot carrying its previous header (zero, or a
+	// sequence at or below the watermark), so Scan never surfaces a torn
+	// record.
+	store.Write(at+headerSize, payload)
 	var hdr [headerSize]byte
 	binary.LittleEndian.PutUint64(hdr[:], seq)
 	store.Write(at, hdr[:])
-	store.Write(at+headerSize, payload)
 	return seq, at
 }
 

@@ -101,7 +101,15 @@ func New(ctx persist.Context, cfg Config) (*Scheme, error) {
 		gcAgent:   ctx.Cores,
 	}
 	s.cursor = s.logBase
-	s.writeEpoch()
+	// Adopt the durable epoch if the device already carries one (rebuilding
+	// over a crashed image must not clobber the epoch the log was written
+	// under — Recover would then skip every live record). Only a pristine
+	// device gets the initial header written.
+	if e, ok := s.readEpochOK(); ok {
+		s.epoch = e
+	} else {
+		s.writeEpoch()
+	}
 	return s, nil
 }
 
@@ -140,12 +148,19 @@ func (s *Scheme) writeEpoch() {
 }
 
 func (s *Scheme) readEpoch() uint32 {
+	e, _ := s.readEpochOK()
+	return e
+}
+
+// readEpochOK reports the durable epoch and whether the epoch header has
+// ever been written (magic present).
+func (s *Scheme) readEpochOK() (uint32, bool) {
 	var b [mem.LineSize]byte
 	s.ctx.Dev.Store().Read(s.ctx.Layout.OOP.Base, b[:])
 	if binary.LittleEndian.Uint32(b[0:]) != recMagic {
-		return 0
+		return 0, false
 	}
-	return binary.LittleEndian.Uint32(b[4:])
+	return binary.LittleEndian.Uint32(b[4:]), true
 }
 
 func recSize(n int) mem.PAddr {
@@ -174,10 +189,15 @@ func (s *Scheme) appendRecord(tx persist.TxID, addr mem.PAddr, data []byte) (at 
 	binary.LittleEndian.PutUint32(hdr[24:], uint32(len(data)))
 	at = s.cursor
 	st := s.ctx.Dev.Store()
-	st.Write(at, hdr[:])
+	// Body first, then the first header unit (magic+epoch) last: that unit
+	// is the atomic write that makes the record decodable, so a crash
+	// mid-record leaves a slot whose magic/epoch does not match and the
+	// recovery scan stops cleanly before the tear.
+	st.Write(at+8, hdr[8:])
 	if len(data) > 0 {
 		st.Write(at+recHdrSize, data)
 	}
+	st.Write(at, hdr[:8])
 	s.cursor += mem.PAddr(size)
 	s.records = append(s.records, record{tx: tx, addr: addr, n: len(data), at: at})
 	return at, size

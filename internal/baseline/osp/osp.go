@@ -39,12 +39,27 @@ const (
 	consolidationBatch = 4096
 )
 
+// Commit intent record. A transaction's current-copy flips may span many
+// bitmap bytes, and per-line read-modify-writes are not atomic as a group:
+// a crash between two flips would expose half a transaction. TxEnd instead
+// persists the full set of new bitmap word values as an intent record —
+// entries first, then a single 8-byte header (magic+count) whose write is
+// the atomic commit point — before applying them to the bitmap. Recovery
+// replays a valid intent, making the flip set all-or-nothing.
+const (
+	intentMagic       = 0x4F535049 // "OSPI"
+	intentEntrySize   = 16         // [bitmap word addr u64][new value u64]
+	intentMaxEntries  = (mem.PageSize - 8) / intentEntrySize
+	intentRegionBytes = mem.PageSize
+)
+
 // Scheme is the optimized-shadow-paging baseline.
 type Scheme struct {
 	ctx   persist.Context
 	alloc persist.TxnAllocator
 
 	bitmapBase mem.PAddr
+	intentBase mem.PAddr
 	txLines    []map[uint64]struct{}
 	// shadowCur mirrors the durable bitmap: lines whose current copy is
 	// the shadow one.
@@ -58,16 +73,24 @@ type Scheme struct {
 }
 
 // New builds the scheme. The durable current-copy bitmap occupies the head
-// of the layout's OOP region (1 bit per home line).
-func New(ctx persist.Context) *Scheme {
+// of the layout's OOP region (1 bit per home line), followed by one
+// page-aligned page holding the commit intent record.
+func New(ctx persist.Context) (*Scheme, error) {
+	bitmapEnd := ctx.Layout.OOP.Base + mem.PAddr(ctx.Layout.Home.Lines()/8) + 1
+	intentBase := (bitmapEnd + mem.PageSize - 1) &^ (mem.PageSize - 1)
+	if uint64(intentBase)+intentRegionBytes > uint64(ctx.Layout.OOP.End()) {
+		return nil, fmt.Errorf("osp: OOP region too small for current-copy bitmap (%d bytes) plus intent page",
+			bitmapEnd-ctx.Layout.OOP.Base)
+	}
 	return &Scheme{
 		ctx:        ctx,
 		bitmapBase: ctx.Layout.OOP.Base,
+		intentBase: intentBase,
 		txLines:    make([]map[uint64]struct{}, ctx.Cores),
 		shadowCur:  make(map[uint64]struct{}),
 		nextCons:   consolidationPeriod,
 		consAgent:  ctx.Cores + 1,
-	}
+	}, nil
 }
 
 // SchemeName is the registry name and figure label of this baseline.
@@ -78,7 +101,7 @@ func init() {
 		if opt != nil {
 			return nil, fmt.Errorf("osp: scheme takes no options, got %T", opt)
 		}
-		return New(ctx), nil
+		return New(ctx)
 	})
 }
 
@@ -127,6 +150,17 @@ func (s *Scheme) setCurrent(line uint64, shadow bool) mem.PAddr {
 	return at
 }
 
+// toggleVolatile flips line's current copy in the volatile mirror only;
+// the durable bitmap change travels through the commit intent record.
+func (s *Scheme) toggleVolatile(line uint64) {
+	if s.isShadowCurrent(line) {
+		delete(s.shadowCur, line)
+	} else {
+		s.consQ = append(s.consQ, line)
+		s.shadowCur[line] = struct{}{}
+	}
+}
+
 // currentAddr returns the physical address of line's current copy.
 func (s *Scheme) currentAddr(line uint64) mem.PAddr {
 	home := mem.PAddr(line << mem.LineShift)
@@ -171,7 +205,7 @@ func (s *Scheme) TxEnd(core int, tx persist.TxID, now sim.Time) sim.Time {
 	sort.Slice(lines, func(i, j int) bool { return lines[i] < lines[j] })
 	var buf [mem.LineSize]byte
 	pages := make(map[uint64]struct{}, 4)
-	bitWords := make(map[mem.PAddr]struct{}, 4)
+	bitWords := make(map[mem.PAddr]uint64, 4)
 	for _, l := range lines {
 		lineAddr := mem.PAddr(l << mem.LineShift)
 		target := s.inactiveAddr(l)
@@ -185,18 +219,46 @@ func (s *Scheme) TxEnd(core int, tx persist.TxID, now sim.Time) sim.Time {
 	}
 	if len(lines) > 0 {
 		now = s.ctx.Ctrl.Drain(core, now)
+		// Group the flips by aligned 8-byte bitmap word and compute each
+		// word's post-image (a flip is a toggle, so an XOR mask per word).
 		for _, l := range lines {
-			at := s.setCurrent(l, !s.isShadowCurrent(l))
-			bitWords[at&^7] = struct{}{}
+			at, mask := s.bitAddr(l)
+			w := at &^ 7
+			bitWords[w] |= uint64(mask) << (8 * uint(at-w))
+			s.toggleVolatile(l)
 		}
 		bws := make([]mem.PAddr, 0, len(bitWords))
 		for at := range bitWords {
 			bws = append(bws, at)
 		}
 		sort.Slice(bws, func(i, j int) bool { return bws[i] < bws[j] })
-		for _, at := range bws {
-			now = s.ctx.Ctrl.Write(at, 8, now)
+		if len(bws) > intentMaxEntries {
+			panic(fmt.Sprintf("osp: transaction flips %d bitmap words, intent record holds %d", len(bws), intentMaxEntries))
 		}
+		st := s.ctx.Dev.Store()
+		vals := make([]uint64, len(bws))
+		for i, w := range bws {
+			vals[i] = st.ReadWord(w) ^ bitWords[w]
+		}
+		// Durable intent: entries first, then the single-unit header that
+		// atomically commits the whole flip set; recovery replays it.
+		for i, w := range bws {
+			ent := s.intentBase + 8 + mem.PAddr(i*intentEntrySize)
+			st.WriteWord(ent, uint64(w))
+			st.WriteWord(ent+8, vals[i])
+			s.ctx.Ctrl.PostWrite(core, ent, intentEntrySize, now)
+		}
+		now = s.ctx.Ctrl.Drain(core, now)
+		st.WriteWord(s.intentBase, intentMagic|uint64(len(bws))<<32)
+		now = s.ctx.Ctrl.Write(s.intentBase, 8, now)
+		// Apply the flips (each word write is atomic; the intent covers
+		// the group), then retire the intent.
+		for i, w := range bws {
+			st.WriteWord(w, vals[i])
+			now = s.ctx.Ctrl.Write(w, 8, now)
+		}
+		st.WriteWord(s.intentBase, 0)
+		s.ctx.Ctrl.PostWrite(core, s.intentBase, 8, now)
 		now += shootdownCost + shootdownPerPage*sim.Duration(len(pages)-1)
 	}
 	s.txLines[core] = nil
@@ -282,11 +344,24 @@ func (s *Scheme) Crash() {
 	s.ctx.Ctrl.ResetPending()
 }
 
-// Recover implements persist.Scheme: rebuild from the durable current-copy
-// bitmap and consolidate every shadow-current line into the home region so
-// the home region holds exactly the committed data.
+// Recover implements persist.Scheme: replay a valid commit intent (a crash
+// may have landed between the intent header and the bitmap flips it
+// covers), then rebuild from the durable current-copy bitmap and
+// consolidate every shadow-current line into the home region so the home
+// region holds exactly the committed data.
 func (s *Scheme) Recover(threads int) (sim.Duration, error) {
 	store := s.ctx.Dev.Store()
+	if hdr := store.ReadWord(s.intentBase); uint32(hdr) == intentMagic {
+		n := int(hdr >> 32)
+		if n > intentMaxEntries {
+			return 0, fmt.Errorf("osp: corrupt intent record (%d entries)", n)
+		}
+		for i := 0; i < n; i++ {
+			ent := s.intentBase + 8 + mem.PAddr(i*intentEntrySize)
+			store.WriteWord(mem.PAddr(store.ReadWord(ent)), store.ReadWord(ent+8))
+		}
+		store.WriteWord(s.intentBase, 0)
+	}
 	bitmapEnd := s.bitmapBase + mem.PAddr(s.ctx.Layout.Home.Lines()/8) + 1
 	var consolidated int64
 	var scanned int64

@@ -10,84 +10,47 @@ import (
 
 	"hoop/internal/baseline/lad"
 	"hoop/internal/baseline/lsm"
+	"hoop/internal/baseline/native"
 	"hoop/internal/baseline/osp"
 	"hoop/internal/baseline/redo"
 	"hoop/internal/baseline/undo"
 	"hoop/internal/cache"
+	"hoop/internal/hoop"
 	"hoop/internal/mem"
-	"hoop/internal/memctrl"
-	"hoop/internal/nvm"
 	"hoop/internal/persist"
+	"hoop/internal/persisttest"
 	"hoop/internal/sim"
 )
 
 func newCtx(t *testing.T, cores int) persist.Context {
 	t.Helper()
-	stats := sim.NewStats()
-	store := mem.NewStore()
-	params := nvm.DefaultParams()
-	params.Capacity = 2 << 30
-	dev := nvm.NewDevice(params, store, stats)
-	return persist.Context{
-		Cores: cores,
-		Layout: mem.Layout{
-			Home: mem.Region{Base: 0, Size: 1 << 30},
-			OOP:  mem.Region{Base: 1 << 30, Size: 64 << 20},
-		},
-		Dev:   dev,
-		Ctrl:  memctrl.New(memctrl.DefaultConfig(cores+2), dev),
-		Hier:  cache.New(cache.DefaultConfig(cores), stats),
-		Stats: stats,
-		View:  mem.NewStore(),
-	}
+	return persisttest.NewContext(cores)
 }
 
+// build constructs a scheme through the persist registry (the packages are
+// imported above for their registration side effect).
 func build(t *testing.T, name string, ctx persist.Context) persist.Scheme {
 	t.Helper()
-	switch name {
-	case "undo":
-		s, err := undo.New(ctx)
-		if err != nil {
-			t.Fatal(err)
-		}
-		return s
-	case "redo":
-		s, err := redo.New(ctx)
-		if err != nil {
-			t.Fatal(err)
-		}
-		return s
-	case "lsm":
-		s, err := lsm.New(ctx, lsm.DefaultConfig())
-		if err != nil {
-			t.Fatal(err)
-		}
-		return s
-	case "osp":
-		return osp.New(ctx)
-	case "lad":
-		return lad.New(ctx)
+	s, err := persist.Build(ctx, name, nil)
+	if err != nil {
+		t.Fatal(err)
 	}
-	t.Fatalf("unknown scheme %q", name)
-	return nil
+	return s
 }
 
-var schemeNames = []string{"undo", "redo", "lsm", "osp", "lad"}
+// schemeNames are the baselines whose home region must hold exactly the
+// committed data after recovery. Ideal (native) is excluded: it models no
+// persistence mechanism at all, so data reaches the device only on
+// eviction.
+var schemeNames = []string{undo.SchemeName, redo.SchemeName, lsm.SchemeName, osp.SchemeName, lad.SchemeName}
 
-// runTx performs one transaction of word writes through the scheme,
-// mirroring stores into the view first (the engine's ordering contract:
-// View is updated after Scheme.Store).
+// allSchemeNames adds the schemes excluded from the strict home-image
+// tests; every registered scheme must still recover idempotently.
+var allSchemeNames = append([]string{hoop.SchemeName, native.SchemeName}, schemeNames...)
+
+// runTx forwards to the shared fixture helper.
 func runTx(s persist.Scheme, ctx persist.Context, core int, words map[mem.PAddr]uint64) {
-	tx, now := s.TxBegin(core, 0)
-	for a, v := range words {
-		var buf [8]byte
-		for i := 0; i < 8; i++ {
-			buf[i] = byte(v >> (8 * uint(i)))
-		}
-		now = s.Store(core, tx, a, buf[:], now)
-		ctx.View.Write(a, buf[:])
-	}
-	s.TxEnd(core, tx, now)
+	persisttest.RunTx(s, ctx, core, words)
 }
 
 func TestCommittedSurvivesCrash(t *testing.T) {
@@ -150,16 +113,71 @@ func TestUncommittedIsRolledBack(t *testing.T) {
 	}
 }
 
+// TestDoubleRecoverIdempotent crashes once and recovers twice: the second
+// recovery must find a quiesced device and leave the home region image
+// bit-for-bit unchanged. A scheme that replays work twice (or trips over
+// its own recovery bookkeeping) fails here.
+func TestDoubleRecoverIdempotent(t *testing.T) {
+	for _, name := range allSchemeNames {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			ctx := newCtx(t, 2)
+			s := build(t, name, ctx)
+			r := sim.NewRand(23)
+			for i := 0; i < 40; i++ {
+				words := map[mem.PAddr]uint64{}
+				for j := 0; j < 1+r.Intn(6); j++ {
+					words[mem.PAddr(r.Intn(512))*8] = r.Uint64()
+				}
+				runTx(s, ctx, i%2, words)
+			}
+			s.Crash()
+			if _, err := s.Recover(2); err != nil {
+				t.Fatal(err)
+			}
+			home := ctx.Layout.Home
+			first := ctx.Dev.Store().Clone()
+			if _, err := s.Recover(2); err != nil {
+				t.Fatalf("second recovery failed: %v", err)
+			}
+			var diffs int
+			ctx.Dev.Store().ForEachPage(func(base mem.PAddr, data []byte) {
+				if base < home.Base || base >= home.End() {
+					return
+				}
+				var want [mem.PageSize]byte
+				first.Read(base, want[:])
+				for i := range data {
+					if data[i] != want[i] {
+						diffs++
+						if diffs == 1 {
+							t.Errorf("home byte %#x changed across second recovery: %#x -> %#x",
+								uint64(base)+uint64(i), want[i], data[i])
+						}
+					}
+				}
+			})
+			if diffs > 0 {
+				t.Fatalf("second recovery changed %d home-region bytes", diffs)
+			}
+		})
+	}
+}
+
 func TestQuickRandomCrashAllSchemes(t *testing.T) {
 	for _, name := range schemeNames {
 		name := name
 		t.Run(name, func(t *testing.T) {
+			// reason records why the property last failed so that a red run
+			// reports the seed and failure site, not just "#1: failed".
+			var reason string
 			f := func(seed uint64) bool {
 				ctx := newCtx(t, 2)
 				s := build(t, name, ctx)
 				r := sim.NewRand(seed)
 				oracle := map[mem.PAddr]uint64{}
-				for i := 0; i < 10+r.Intn(40); i++ {
+				txs := 10 + r.Intn(40)
+				for i := 0; i < txs; i++ {
 					words := map[mem.PAddr]uint64{}
 					for j := 0; j < 1+r.Intn(6); j++ {
 						words[mem.PAddr(r.Intn(512))*8] = r.Uint64()
@@ -175,17 +193,20 @@ func TestQuickRandomCrashAllSchemes(t *testing.T) {
 				}
 				s.Crash()
 				if _, err := s.Recover(1 + r.Intn(3)); err != nil {
+					reason = fmt.Sprintf("scheme=%s seed=%d txs=%d: recovery error: %v", name, seed, txs, err)
 					return false
 				}
 				for a, v := range oracle {
-					if ctx.Dev.Store().ReadWord(a) != v {
+					if got := ctx.Dev.Store().ReadWord(a); got != v {
+						reason = fmt.Sprintf("scheme=%s seed=%d txs=%d: word %#x = %#x, want %#x",
+							name, seed, txs, uint64(a), got, v)
 						return false
 					}
 				}
 				return true
 			}
 			if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
-				t.Fatal(err)
+				t.Fatalf("%v\nrepro: %s", err, reason)
 			}
 		})
 	}
@@ -220,14 +241,14 @@ func TestUndoCriticalPathExceedsRedo(t *testing.T) {
 		}
 		return now - start
 	}
-	if elapsed("undo") <= elapsed("redo") {
+	if elapsed(undo.SchemeName) <= elapsed(redo.SchemeName) {
 		t.Fatal("undo stores must carry ordering cost on the critical path")
 	}
 }
 
 func TestLSMLoadOverheadGrowsWithIndex(t *testing.T) {
 	ctx := newCtx(t, 1)
-	s := build(t, "lsm", ctx).(*lsm.Scheme)
+	s := build(t, lsm.SchemeName, ctx).(*lsm.Scheme)
 	small := s.LoadOverhead(0, 0x100, 0)
 	for i := 0; i < 20000; i++ {
 		runTx(s, ctx, 0, map[mem.PAddr]uint64{mem.PAddr(i) * 8: 1})
@@ -240,7 +261,7 @@ func TestLSMLoadOverheadGrowsWithIndex(t *testing.T) {
 
 func TestLADSpillOnLargeTx(t *testing.T) {
 	ctx := newCtx(t, 1)
-	s := build(t, "lad", ctx)
+	s := build(t, lad.SchemeName, ctx)
 	before := ctx.Stats.Get(sim.StatNVMBytesWritten)
 	// 100 distinct lines exceed the 64-line queue: spills must appear
 	// before commit.

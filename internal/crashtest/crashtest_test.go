@@ -1,0 +1,82 @@
+package crashtest
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestEnumerateAllSchemes is the exhaustive tentpole check: every scheme
+// must pass the prefix-consistency oracle at every single crash point of
+// the default workload — every torn slice, torn commit record, half-flipped
+// bitmap, and half-applied GC migration the journal can express.
+func TestEnumerateAllSchemes(t *testing.T) {
+	for _, scheme := range Schemes() {
+		scheme := scheme
+		t.Run(scheme, func(t *testing.T) {
+			t.Parallel()
+			w := DefaultWorkload(1)
+			points, v := Enumerate(scheme, w)
+			if v != nil {
+				t.Fatalf("%v\nrepro: go run ./cmd/hoopcrash -scheme %s -mode exhaustive -seed %d", v, scheme, w.Seed)
+			}
+			if points < w.Txs {
+				t.Fatalf("only %d crash points enumerated; journal not recording?", points)
+			}
+			t.Logf("%d crash points, all consistent", points)
+		})
+	}
+}
+
+// TestRandomSchedulesAllSchemes samples many independent seeded workloads
+// with one random crash point each — statistical coverage of workload
+// shapes exhaustive enumeration of a single seed cannot reach.
+func TestRandomSchedulesAllSchemes(t *testing.T) {
+	n := 200
+	if testing.Short() {
+		n = 25
+	}
+	for _, scheme := range Schemes() {
+		scheme := scheme
+		t.Run(scheme, func(t *testing.T) {
+			t.Parallel()
+			if v := RandomSchedules(scheme, DefaultWorkload(0), 100, n); v != nil {
+				t.Fatalf("%v\nrepro: go run ./cmd/hoopcrash -scheme %s -mode random -seed %d -seeds 1", v, scheme, v.Seed)
+			}
+		})
+	}
+}
+
+// TestBuggySchemeRejected proves the harness has teeth: the deliberately
+// commit-marker-before-data scheme must be caught by exhaustive
+// enumeration. If this test ever finds no violation, the journal or the
+// oracle has gone blind.
+func TestBuggySchemeRejected(t *testing.T) {
+	points, v := Enumerate(BuggySchemeName, DefaultWorkload(1))
+	if v == nil {
+		t.Fatalf("oracle accepted the buggy commit-before-data scheme at all %d crash points", points)
+	}
+	if v.Point < 0 {
+		t.Fatalf("buggy scheme failed to execute rather than failing the oracle: %v", v)
+	}
+	if !strings.Contains(v.Err.Error(), "no consistent cut") {
+		t.Fatalf("expected a consistency violation, got: %v", v)
+	}
+	t.Logf("rejected as expected: %v", v)
+}
+
+// TestEnumerateSecondSeed runs a second seed through two representative
+// schemes so exhaustive coverage is not hostage to one workload shape.
+func TestEnumerateSecondSeed(t *testing.T) {
+	if testing.Short() {
+		t.Skip("second exhaustive seed skipped in short mode")
+	}
+	for _, scheme := range []string{Schemes()[0], Schemes()[1]} {
+		scheme := scheme
+		t.Run(scheme, func(t *testing.T) {
+			t.Parallel()
+			if _, v := Enumerate(scheme, DefaultWorkload(7)); v != nil {
+				t.Fatal(v)
+			}
+		})
+	}
+}

@@ -1,0 +1,36 @@
+package crashtest
+
+import "testing"
+
+// FuzzCrashRecovery is the Go-native fuzz surface over the crash harness:
+// the fuzzer mutates the workload seed, the scheme choice, and the crash
+// point. Run it with, e.g.:
+//
+//	go test ./internal/crashtest -run '^$' -fuzz FuzzCrashRecovery -fuzztime 30s
+//
+// Any crasher is fully described by its (scheme, seed, point) triple and
+// reproduces via cmd/hoopcrash.
+func FuzzCrashRecovery(f *testing.F) {
+	schemes := Schemes()
+	f.Add(uint64(1), uint8(0), uint32(0))
+	f.Add(uint64(2), uint8(1), uint32(50))
+	f.Add(uint64(3), uint8(3), uint32(1000))
+	f.Fuzz(func(t *testing.T, seed uint64, schemeIdx uint8, point uint32) {
+		scheme := schemes[int(schemeIdx)%len(schemes)]
+		w := DefaultWorkload(seed)
+		w.Txs = 4 // keep each fuzz iteration cheap
+		run, err := Execute(scheme, w)
+		if err != nil {
+			t.Fatalf("scheme=%s seed=%d: %v", scheme, seed, err)
+		}
+		k := run.Journal.AlignPoint(int(point) % (run.Journal.Len() + 1))
+		st, err := run.RecoverAt(k)
+		if err == nil {
+			err = run.Check(k, st)
+		}
+		if err != nil {
+			t.Fatalf("scheme=%s seed=%d crash-point=%d: %v\nrepro: go run ./cmd/hoopcrash -scheme %s -mode exhaustive -seed %d -txs %d",
+				scheme, seed, k, err, scheme, seed, w.Txs)
+		}
+	})
+}

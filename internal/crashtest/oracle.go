@@ -1,0 +1,102 @@
+package crashtest
+
+import (
+	"fmt"
+
+	"hoop/internal/baseline/native"
+	"hoop/internal/mem"
+)
+
+// Check is the prefix-consistency oracle. Transactions execute and commit
+// sequentially, so the committed images form a chain image_0 (all zeros),
+// image_1, ..., image_T. After a crash at journal point k and recovery,
+// the home-region footprint must equal image_m for a single
+// crash-order-consistent cut m:
+//
+//   - every transaction durable before k must survive: m >= mMin, the
+//     number of transactions whose TxEnd completed within the prefix;
+//   - no transaction that had not yet started writing may appear:
+//     m <= mMax, the number of transactions that had begun by k.
+//
+// A transaction caught mid-flight (begun, not durable) may legitimately
+// land on either side — a scheme is free to treat an almost-complete
+// commit as committed (its data is in the log) or roll it back — but it
+// must land entirely: any mix of two images is a torn-transaction leak.
+//
+// The Ideal scheme (no persistence mechanism) cannot meet this; it gets a
+// relaxed per-word check instead, documenting data loss rather than
+// claiming atomicity: every recovered word must hold a value that word had
+// in some image 0..mMax (no invented values).
+func (run *Run) Check(k int, recovered *mem.Store) error {
+	k = run.Journal.AlignPoint(k)
+	mMin, mMax := 0, 0
+	for _, tx := range run.Txs {
+		if tx.DurableIdx <= k {
+			mMin++
+		}
+		if tx.BeginIdx < k {
+			mMax++
+		}
+	}
+	if run.Scheme == native.SchemeName {
+		return run.checkRelaxed(k, recovered, mMax)
+	}
+
+	// Walk the candidate cuts incrementally: image holds image_mMin first,
+	// then one transaction is applied per step.
+	image := make(map[mem.PAddr]uint64, len(run.Footprint))
+	for _, tx := range run.Txs[:mMin] {
+		for a, v := range tx.Words {
+			image[a] = v
+		}
+	}
+	var firstErr error
+	for m := mMin; ; m++ {
+		if err := run.diff(recovered, image, k, m); err == nil {
+			return nil
+		} else if firstErr == nil {
+			firstErr = err
+		}
+		if m == mMax {
+			return fmt.Errorf("no consistent cut in [%d,%d] matches the recovered image: %w", mMin, mMax, firstErr)
+		}
+		for a, v := range run.Txs[m].Words {
+			image[a] = v
+		}
+	}
+}
+
+// diff compares the recovered footprint words against one candidate image.
+func (run *Run) diff(recovered *mem.Store, image map[mem.PAddr]uint64, k, m int) error {
+	for _, a := range run.Footprint {
+		want := image[a] // zero if never written by txs 1..m
+		if got := recovered.ReadWord(a); got != want {
+			return fmt.Errorf("crash-point %d, cut m=%d: home word %#x = %#x, want %#x",
+				k, m, uint64(a), got, want)
+		}
+	}
+	return nil
+}
+
+// checkRelaxed allows torn and lost data but not invented data: each
+// recovered footprint word must hold one of the values that word held in
+// images 0..mMax.
+func (run *Run) checkRelaxed(k int, recovered *mem.Store, mMax int) error {
+	allowed := make(map[mem.PAddr]map[uint64]struct{}, len(run.Footprint))
+	for _, a := range run.Footprint {
+		allowed[a] = map[uint64]struct{}{0: {}}
+	}
+	for _, tx := range run.Txs[:mMax] {
+		for a, v := range tx.Words {
+			allowed[a][v] = struct{}{}
+		}
+	}
+	for _, a := range run.Footprint {
+		got := recovered.ReadWord(a)
+		if _, ok := allowed[a][got]; !ok {
+			return fmt.Errorf("crash-point %d: home word %#x = %#x, which no image 0..%d ever held",
+				k, uint64(a), got, mMax)
+		}
+	}
+	return nil
+}

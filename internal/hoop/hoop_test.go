@@ -7,9 +7,8 @@ import (
 
 	"hoop/internal/cache"
 	"hoop/internal/mem"
-	"hoop/internal/memctrl"
-	"hoop/internal/nvm"
 	"hoop/internal/persist"
+	"hoop/internal/persisttest"
 	"hoop/internal/sim"
 )
 
@@ -145,25 +144,11 @@ func TestEvictBufferFIFO(t *testing.T) {
 	}
 }
 
-// testScheme builds a HOOP scheme over a small standalone context (no
-// engine): 1 GB device with a 64 MB OOP region.
+// testScheme builds a HOOP scheme over the shared persisttest fixture (no
+// engine): 1 GB home region with a 64 MB OOP region.
 func testScheme(t *testing.T, cores int) (*Scheme, persist.Context) {
 	t.Helper()
-	stats := sim.NewStats()
-	store := mem.NewStore()
-	layout := mem.Layout{
-		Home: mem.Region{Base: 0, Size: 1 << 30},
-		OOP:  mem.Region{Base: 1 << 30, Size: 64 << 20},
-	}
-	params := nvm.DefaultParams()
-	params.Capacity = 2 << 30
-	dev := nvm.NewDevice(params, store, stats)
-	ctrl := memctrl.New(memctrl.DefaultConfig(cores+2), dev)
-	hier := cache.New(cache.DefaultConfig(cores), stats)
-	ctx := persist.Context{
-		Cores: cores, Layout: layout, Dev: dev, Ctrl: ctrl, Hier: hier,
-		Stats: stats, View: mem.NewStore(),
-	}
+	ctx := persisttest.NewContext(cores)
 	cfg := DefaultConfig()
 	cfg.CommitLogBytes = 1 << 20
 	s, err := New(ctx, cfg)
@@ -176,16 +161,7 @@ func testScheme(t *testing.T, cores int) (*Scheme, persist.Context) {
 // writeTx drives one transaction of word writes directly through the
 // scheme (bypassing the cache hierarchy), mirroring them into view.
 func writeTx(s *Scheme, ctx persist.Context, core int, words map[mem.PAddr]uint64) {
-	tx, now := s.TxBegin(core, 0)
-	for a, v := range words {
-		var buf [8]byte
-		for i := 0; i < 8; i++ {
-			buf[i] = byte(v >> (8 * uint(i)))
-		}
-		ctx.View.Write(a, buf[:])
-		now = s.Store(core, tx, a, buf[:], now)
-	}
-	s.TxEnd(core, tx, now)
+	persisttest.RunTx(s, ctx, core, words)
 }
 
 func TestSchemeCommitRecoverRoundtrip(t *testing.T) {

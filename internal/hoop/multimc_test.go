@@ -4,32 +4,16 @@ import (
 	"testing"
 	"testing/quick"
 
-	"hoop/internal/cache"
 	"hoop/internal/mem"
-	"hoop/internal/memctrl"
-	"hoop/internal/nvm"
 	"hoop/internal/persist"
+	"hoop/internal/persisttest"
 	"hoop/internal/sim"
 )
 
 // testSchemeMC builds a HOOP scheme with n memory controllers.
 func testSchemeMC(t *testing.T, cores, controllers int) (*Scheme, persist.Context) {
 	t.Helper()
-	stats := sim.NewStats()
-	store := mem.NewStore()
-	layout := mem.Layout{
-		Home: mem.Region{Base: 0, Size: 1 << 30},
-		OOP:  mem.Region{Base: 1 << 30, Size: 64 << 20},
-	}
-	params := nvm.DefaultParams()
-	params.Capacity = 2 << 30
-	dev := nvm.NewDevice(params, store, stats)
-	ctrl := memctrl.New(memctrl.DefaultConfig(cores+2), dev)
-	hier := cache.New(cache.DefaultConfig(cores), stats)
-	ctx := persist.Context{
-		Cores: cores, Layout: layout, Dev: dev, Ctrl: ctrl, Hier: hier,
-		Stats: stats, View: mem.NewStore(),
-	}
+	ctx := persisttest.NewContext(cores)
 	cfg := DefaultConfig()
 	cfg.CommitLogBytes = 1 << 20
 	cfg.Controllers = controllers

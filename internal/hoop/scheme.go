@@ -439,12 +439,19 @@ func (s *Scheme) TxEnd(core int, tx persist.TxID, now sim.Time) sim.Time {
 }
 
 // appendCommitRec durably writes a commit record into controller m's ring
-// and returns its address.
+// and returns its address. The record body (tx, chain tail, flags) goes
+// first and the 8-byte sequence word last: the sequence is the single
+// atomic persist unit that makes the record visible to recovery, so a
+// crash mid-record leaves the slot's previous sequence (zero or below the
+// watermark) and can never pair a fresh sequence with a stale decision
+// flag or chain pointer from a recycled slot.
 func (s *Scheme) appendCommitRec(m int, seq uint64, tx persist.TxID, last mem.PAddr, flags uint64) mem.PAddr {
 	l := &s.logs[m]
 	at := l.nextAddr()
 	rec := encodeCommitRec(seq, tx, last, flags)
-	s.ctx.Dev.Store().Write(at, rec[:])
+	st := s.ctx.Dev.Store()
+	st.Write(at+8, rec[8:])
+	st.Write(at, rec[:8])
 	l.count++
 	l.live++
 	return at

@@ -12,6 +12,37 @@ import "encoding/binary"
 // (this store) separately from "how long did it take".
 type Store struct {
 	pages map[uint64][]byte
+	obs   WriteObserver
+}
+
+// A WriteObserver is notified after every mutation of the store, decomposed
+// into aligned 8-byte persist units: for each unit overlapping the mutated
+// range it receives the unit's address and post-image. Real PM hardware
+// guarantees atomicity only at this granularity, so the observer sees
+// exactly the sequence of atomically-persistable writes — the basis of the
+// crash-point journal in internal/nvm.
+//
+// Reset and CopyFrom are wholesale state swaps used by test harnesses, not
+// NVM writes; they are not observed and must not be called while an
+// observer that models durability is attached.
+type WriteObserver func(a PAddr, unit [WordSize]byte)
+
+// SetWriteObserver installs fn (nil detaches). Only one observer is
+// supported at a time; Clone does not carry the observer over.
+func (s *Store) SetWriteObserver(fn WriteObserver) { s.obs = fn }
+
+// notifyRange reports the aligned 8-byte units overlapping [a, a+n) to the
+// observer, reading each unit's post-image from the store.
+func (s *Store) notifyRange(a PAddr, n uint64) {
+	if s.obs == nil || n == 0 {
+		return
+	}
+	end := uint64(a) + n
+	for w := uint64(WordAddr(a)); w < end; w += WordSize {
+		var unit [WordSize]byte
+		s.Read(PAddr(w), unit[:])
+		s.obs(PAddr(w), unit)
+	}
 }
 
 // NewStore returns an empty (all-zero) store.
@@ -52,6 +83,7 @@ func (s *Store) Read(a PAddr, dst []byte) {
 
 // Write copies src into the store starting at a.
 func (s *Store) Write(a PAddr, src []byte) {
+	start, total := a, uint64(len(src))
 	for len(src) > 0 {
 		off := int(a & PageOffMask)
 		n := PageSize - off
@@ -62,6 +94,7 @@ func (s *Store) Write(a PAddr, src []byte) {
 		src = src[n:]
 		a += PAddr(n)
 	}
+	s.notifyRange(start, total)
 }
 
 // ReadWord reads the 8-byte little-endian word at a (must be word-aligned).
@@ -177,6 +210,8 @@ func (s *Store) CopyFrom(other *Store) {
 }
 
 // ZeroRange clears [a, a+n). Used when a scheme recycles log/OOP space.
+// Only materialized pages are touched (unwritten memory already reads as
+// zero), and only those mutated subranges are reported to the observer.
 func (s *Store) ZeroRange(a PAddr, n uint64) {
 	zero := make([]byte, PageSize)
 	for n > 0 {
@@ -187,6 +222,7 @@ func (s *Store) ZeroRange(a PAddr, n uint64) {
 		}
 		if p := s.page(a, false); p != nil {
 			copy(p[off:off+int(c)], zero[:c])
+			s.notifyRange(a, c)
 		}
 		a += PAddr(c)
 		n -= c

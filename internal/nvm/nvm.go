@@ -110,6 +110,8 @@ type Device struct {
 	writeEnergyPJ float64
 
 	wear map[uint64]int64
+
+	journal *Journal
 }
 
 // NewDevice builds a device with the given parameters, contents store, and

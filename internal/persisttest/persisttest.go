@@ -1,0 +1,107 @@
+// Package persisttest provides the shared fixture for driving a
+// persistence scheme directly (no engine): a ready-made persist.Context
+// over a simulated device, and a transaction helper that honours the
+// engine's ordering contract. It is used by the scheme contract tests
+// (internal/baseline/schemetest), the HOOP package tests, and the
+// crash-point fault-injection harness (internal/crashtest).
+//
+// The package deliberately imports no scheme packages: tests that build
+// schemes through the persist registry must import (or blank-import) the
+// scheme packages themselves for registration, which keeps persisttest
+// usable from inside a scheme package's own tests without an import cycle.
+package persisttest
+
+import (
+	"hoop/internal/cache"
+	"hoop/internal/mem"
+	"hoop/internal/memctrl"
+	"hoop/internal/nvm"
+	"hoop/internal/persist"
+	"hoop/internal/sim"
+)
+
+// Geometry sizes the simulated regions. Zero fields take the defaults of
+// the original schemetest fixture: a 1 GiB home region at physical 0, the
+// OOP/log region directly above it, and a device capacity covering both.
+type Geometry struct {
+	HomeBytes uint64 // default 1 GiB
+	OOPBytes  uint64 // default 64 MiB
+}
+
+func (g Geometry) withDefaults() Geometry {
+	if g.HomeBytes == 0 {
+		g.HomeBytes = 1 << 30
+	}
+	if g.OOPBytes == 0 {
+		g.OOPBytes = 64 << 20
+	}
+	return g
+}
+
+// NewContext builds the default fixture context: fresh stores, default
+// device parameters, a controller with two extra background agents (GC /
+// checkpoint style helpers), and a default cache hierarchy.
+func NewContext(cores int) persist.Context {
+	return NewContextOn(mem.NewStore(), cores, Geometry{})
+}
+
+// NewContextGeom is NewContext with explicit region sizing — small
+// geometries keep recovery scans cheap in exhaustive crash-point drivers.
+func NewContextGeom(cores int, g Geometry) persist.Context {
+	return NewContextOn(mem.NewStore(), cores, g)
+}
+
+// NewContextOn builds a context over an existing functional store — the
+// crash-recovery path, where the store was reconstructed from a journal
+// prefix and a fresh scheme instance must recover from it.
+func NewContextOn(store *mem.Store, cores int, g Geometry) persist.Context {
+	g = g.withDefaults()
+	stats := sim.NewStats()
+	params := nvm.DefaultParams()
+	params.Capacity = 2 * (g.HomeBytes + g.OOPBytes)
+	dev := nvm.NewDevice(params, store, stats)
+	return persist.Context{
+		Cores: cores,
+		Layout: mem.Layout{
+			Home: mem.Region{Base: 0, Size: g.HomeBytes},
+			OOP:  mem.Region{Base: mem.PAddr(g.HomeBytes), Size: g.OOPBytes},
+		},
+		Dev:   dev,
+		Ctrl:  memctrl.New(memctrl.DefaultConfig(cores+2), dev),
+		Hier:  cache.New(cache.DefaultConfig(cores), stats),
+		Stats: stats,
+		View:  mem.NewStore(),
+	}
+}
+
+// RunTx performs one transaction of word writes through the scheme,
+// mirroring each store into the volatile view after the scheme hook — the
+// engine's ordering contract (undo-style schemes read the pre-image from
+// View inside Store). Iteration is in deterministic address order so runs
+// are reproducible.
+func RunTx(s persist.Scheme, ctx persist.Context, core int, words map[mem.PAddr]uint64) {
+	tx, now := s.TxBegin(core, 0)
+	for _, a := range sortedAddrs(words) {
+		var buf [8]byte
+		v := words[a]
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(v >> (8 * uint(i)))
+		}
+		now = s.Store(core, tx, a, buf[:], now)
+		ctx.View.Write(a, buf[:])
+	}
+	s.TxEnd(core, tx, now)
+}
+
+func sortedAddrs(words map[mem.PAddr]uint64) []mem.PAddr {
+	addrs := make([]mem.PAddr, 0, len(words))
+	for a := range words {
+		addrs = append(addrs, a)
+	}
+	for i := 1; i < len(addrs); i++ {
+		for j := i; j > 0 && addrs[j-1] > addrs[j]; j-- {
+			addrs[j-1], addrs[j] = addrs[j], addrs[j-1]
+		}
+	}
+	return addrs
+}
