@@ -5,6 +5,7 @@
 // Usage:
 //
 //	hoopbench [-quick] [-seed N] [-parallel N] [-sections tables,fig7-9,tableIV,fig10,fig11,fig12,fig13,area]
+//	          [-cpuprofile out.pprof] [-memprofile out.pprof]
 package main
 
 import (
@@ -12,6 +13,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -26,7 +28,37 @@ func main() {
 	parallel := flag.Int("parallel", 0, "simulation cells run concurrently (0 = GOMAXPROCS); results are identical for every value")
 	sections := flag.String("sections", strings.Join(harness.AllSections, ","),
 		"comma-separated experiment sections to run (extras: "+strings.Join(harness.ExtraSections, ", ")+")")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile taken at exit to this file")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hoopbench: -cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "hoopbench: -cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "hoopbench: -memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "hoopbench: -memprofile: %v\n", err)
+			}
+		}()
+	}
 
 	opts := harness.Options{Quick: *quick, Seed: *seed, Charts: *charts, ArtifactDir: *artifacts, Workers: *parallel}
 	var secs []string

@@ -1,0 +1,267 @@
+// Command simbench measures the simulation-core primitives that bound how
+// fast the evaluation harness can replay memory traffic — store word/line
+// access (with and without a crash-test journal observer attached), cache
+// hierarchy probes, stats counting, and the engine's per-transaction
+// operation cost — plus the wall-clock of the quick-mode Figure 7a matrix,
+// and writes the results as a machine-readable BENCH_simcore.json so the
+// performance trajectory of the simulator itself is tracked alongside the
+// paper's figures.
+//
+// Usage:
+//
+//	simbench [-o BENCH_simcore.json] [-baseline old.json] [-skip-figure]
+//
+// With -baseline, each primitive also reports its speedup over the
+// baseline file's ns/op (speedup > 1 means this tree is faster).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"hoop/internal/cache"
+	"hoop/internal/engine"
+	"hoop/internal/harness"
+	"hoop/internal/mem"
+	"hoop/internal/sim"
+	"hoop/internal/workload"
+)
+
+// PrimitiveResult is one measured primitive.
+type PrimitiveResult struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	// SpeedupVsBaseline is baseline ns/op divided by this ns/op (>1 is
+	// faster than baseline); omitted when no baseline was supplied.
+	SpeedupVsBaseline float64 `json:"speedup_vs_baseline,omitempty"`
+}
+
+// File is the BENCH_simcore.json schema.
+type File struct {
+	Schema     string                     `json:"schema"`
+	GoVersion  string                     `json:"go_version"`
+	GOMAXPROCS int                        `json:"gomaxprocs"`
+	Primitives map[string]PrimitiveResult `json:"primitives"`
+	// Figure7aQuickWallSeconds is the wall-clock of the quick-mode
+	// two-workload Figure 7a matrix on one worker (the end-to-end number
+	// the primitive costs roll up into). Negative when skipped.
+	Figure7aQuickWallSeconds float64 `json:"figure7a_quick_wall_seconds"`
+	// BaselineFile names the file speedups were computed against, if any.
+	BaselineFile string `json:"baseline_file,omitempty"`
+}
+
+// benchmarks maps primitive names to their measurement loops. Each mirrors
+// the testing.B benchmark of the same shape in the internal packages; the
+// canonical definitions of what each primitive means live here so the JSON
+// stays comparable across commits.
+func benchmarks() map[string]func(b *testing.B) {
+	const region = 16 * mem.PageSize
+	return map[string]func(b *testing.B){
+		// Store word write with a journal-style observer attached: the cost
+		// of every durable write in a crash-consistency run.
+		"store_write_word_journal": func(b *testing.B) {
+			s := mem.NewStore()
+			sink := make([]mem.PAddr, 0, 1024)
+			s.SetWriteObserver(func(a mem.PAddr, unit [mem.WordSize]byte) {
+				if len(sink) == cap(sink) {
+					sink = sink[:0]
+				}
+				sink = append(sink, a)
+			})
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.WriteWord(mem.PAddr(uint64(i)*mem.WordSize%region), uint64(i))
+			}
+		},
+		"store_write_word": func(b *testing.B) {
+			s := mem.NewStore()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.WriteWord(mem.PAddr(uint64(i)*mem.WordSize%region), uint64(i))
+			}
+		},
+		"store_read_word": func(b *testing.B) {
+			s := mem.NewStore()
+			for a := mem.PAddr(0); a < region; a += mem.WordSize {
+				s.WriteWord(a, uint64(a))
+			}
+			b.ResetTimer()
+			var acc uint64
+			for i := 0; i < b.N; i++ {
+				acc += s.ReadWord(mem.PAddr(uint64(i) * mem.WordSize % region))
+			}
+			sinkU64 = acc
+		},
+		"store_write_line": func(b *testing.B) {
+			s := mem.NewStore()
+			var line [mem.LineSize]byte
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.WriteLine(mem.PAddr(uint64(i)*mem.LineSize%region), line)
+			}
+		},
+		"store_zero_range": func(b *testing.B) {
+			s := mem.NewStore()
+			for a := mem.PAddr(0); a < 4*mem.PageSize; a += mem.WordSize {
+				s.WriteWord(a, ^uint64(0))
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.ZeroRange(0, 4*mem.PageSize)
+			}
+		},
+		// The hot-path stats increment as the simulator components issue it:
+		// an interned Counter handle obtained once at construction time.
+		"stats_increment": func(b *testing.B) {
+			s := sim.NewStats()
+			c := s.Counter(sim.StatNVMWrites)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				c.Inc()
+			}
+		},
+		"stats_add": func(b *testing.B) {
+			s := sim.NewStats()
+			c := s.Counter(sim.StatNVMBytesWritten)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				c.Add(64)
+			}
+		},
+		"cache_lookup_l1_hit": func(b *testing.B) {
+			h := cache.New(cache.DefaultConfig(1), sim.NewStats())
+			h.Fill(0, 0, false, false)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				h.Lookup(0, 0, false, false)
+			}
+		},
+		"engine_tx_write4": func(b *testing.B) {
+			sys := engineForBench(b)
+			env := sys.NewEnv(0)
+			const span = 1 << 20
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				base := mem.PAddr(uint64(i) * 4 * mem.WordSize % span)
+				env.TxBegin()
+				for w := 0; w < 4; w++ {
+					env.WriteWord(base+mem.PAddr(w*mem.WordSize), uint64(i))
+				}
+				env.TxEnd()
+			}
+		},
+	}
+}
+
+var sinkU64 uint64
+
+func engineForBench(b *testing.B) *engine.System {
+	cfg := engine.DefaultConfig(engine.SchemeHOOP)
+	cfg.Cores, cfg.Threads, cfg.Cache.Cores = 1, 1, 1
+	cfg.Ctrl.Agents = 3
+	cfg.NVM.Capacity = 4 << 30
+	cfg.OOPBytes = 128 << 20
+	cfg.Hoop.CommitLogBytes = 8 << 20
+	sys, err := engine.New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return sys
+}
+
+func main() {
+	out := flag.String("o", "BENCH_simcore.json", "output JSON path (- for stdout)")
+	baselinePath := flag.String("baseline", "", "previous BENCH_simcore.json to compute speedups against")
+	skipFigure := flag.Bool("skip-figure", false, "skip the quick Figure-7a matrix wall-time measurement")
+	flag.Parse()
+
+	f := &File{
+		Schema:                   "hoop-simcore-bench/v1",
+		GoVersion:                runtime.Version(),
+		GOMAXPROCS:               runtime.GOMAXPROCS(0),
+		Primitives:               map[string]PrimitiveResult{},
+		Figure7aQuickWallSeconds: -1,
+	}
+
+	var baseline *File
+	if *baselinePath != "" {
+		data, err := os.ReadFile(*baselinePath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "simbench: %v\n", err)
+			os.Exit(1)
+		}
+		baseline = &File{}
+		if err := json.Unmarshal(data, baseline); err != nil {
+			fmt.Fprintf(os.Stderr, "simbench: bad baseline: %v\n", err)
+			os.Exit(1)
+		}
+		f.BaselineFile = *baselinePath
+	}
+
+	for name, fn := range benchmarks() {
+		fn := fn
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			fn(b)
+		})
+		pr := PrimitiveResult{
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+		}
+		if baseline != nil {
+			if base, ok := baseline.Primitives[name]; ok && pr.NsPerOp > 0 {
+				pr.SpeedupVsBaseline = base.NsPerOp / pr.NsPerOp
+			}
+		}
+		f.Primitives[name] = pr
+		fmt.Fprintf(os.Stderr, "%-28s %10.1f ns/op  %4d allocs/op", name, pr.NsPerOp, pr.AllocsPerOp)
+		if pr.SpeedupVsBaseline > 0 {
+			fmt.Fprintf(os.Stderr, "  %5.2fx vs baseline", pr.SpeedupVsBaseline)
+		}
+		fmt.Fprintln(os.Stderr)
+	}
+
+	if !*skipFigure {
+		start := time.Now()
+		_, err := harness.RunMatrixOn(harness.Options{Quick: true, Seed: 1, Workers: 1},
+			[]workload.Workload{workload.HashMapWL(64), workload.RBTreeWL(64)},
+			engine.AllSchemes)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "simbench: figure7a matrix: %v\n", err)
+			os.Exit(1)
+		}
+		f.Figure7aQuickWallSeconds = time.Since(start).Seconds()
+		fmt.Fprintf(os.Stderr, "%-28s %10.1f s wall", "figure7a_quick(2 workloads)", f.Figure7aQuickWallSeconds)
+		if baseline != nil && baseline.Figure7aQuickWallSeconds > 0 {
+			fmt.Fprintf(os.Stderr, "  %5.2fx vs baseline", baseline.Figure7aQuickWallSeconds/f.Figure7aQuickWallSeconds)
+		}
+		fmt.Fprintln(os.Stderr)
+	}
+
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "simbench: %v\n", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	var w io.Writer = os.Stdout
+	if *out != "-" {
+		file, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "simbench: %v\n", err)
+			os.Exit(1)
+		}
+		defer file.Close()
+		w = file
+	}
+	if _, err := w.Write(data); err != nil {
+		fmt.Fprintf(os.Stderr, "simbench: %v\n", err)
+		os.Exit(1)
+	}
+}

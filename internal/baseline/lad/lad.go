@@ -48,14 +48,17 @@ type Scheme struct {
 	// controller queue contents.
 	txLines  []map[uint64]struct{}
 	spillCnt []int
+
+	statTxCommitted *sim.Counter
 }
 
 // New builds the LAD scheme.
 func New(ctx persist.Context) *Scheme {
 	return &Scheme{
-		ctx:      ctx,
-		txLines:  make([]map[uint64]struct{}, ctx.Cores),
-		spillCnt: make([]int, ctx.Cores),
+		ctx:             ctx,
+		txLines:         make([]map[uint64]struct{}, ctx.Cores),
+		spillCnt:        make([]int, ctx.Cores),
+		statTxCommitted: ctx.Stats.Counter(sim.StatTxCommitted),
 	}
 }
 
@@ -142,7 +145,7 @@ func (s *Scheme) TxEnd(core int, tx persist.TxID, now sim.Time) sim.Time {
 		now += commitRound
 	}
 	s.txLines[core] = nil
-	s.ctx.Stats.Inc(sim.StatTxCommitted)
+	s.statTxCommitted.Inc()
 	return now
 }
 

@@ -73,6 +73,11 @@ type Scheme struct {
 	nextGC  sim.Time
 	gcBusy  sim.Time
 	gcAgent int
+
+	statTxCommitted *sim.Counter
+	statGCRuns      *sim.Counter
+	statGCScanned   *sim.Counter
+	statGCMigrated  *sim.Counter
 }
 
 // record mirrors one live log record.
@@ -89,16 +94,20 @@ func New(ctx persist.Context, cfg Config) (*Scheme, error) {
 		return nil, fmt.Errorf("lsm: log region too small (%d bytes)", ctx.Layout.OOP.Size)
 	}
 	s := &Scheme{
-		ctx:       ctx,
-		cfg:       cfg,
-		logBase:   ctx.Layout.OOP.Base + mem.LineSize,
-		logEnd:    ctx.Layout.OOP.End(),
-		index:     skiplist.New(0xBEEF),
-		lineWords: make(map[uint64]int),
-		committed: make(map[persist.TxID]bool),
-		liveTx:    make(map[persist.TxID]int),
-		nextGC:    cfg.GCPeriod,
-		gcAgent:   ctx.Cores,
+		ctx:             ctx,
+		cfg:             cfg,
+		logBase:         ctx.Layout.OOP.Base + mem.LineSize,
+		logEnd:          ctx.Layout.OOP.End(),
+		index:           skiplist.New(0xBEEF),
+		lineWords:       make(map[uint64]int),
+		committed:       make(map[persist.TxID]bool),
+		liveTx:          make(map[persist.TxID]int),
+		nextGC:          cfg.GCPeriod,
+		gcAgent:         ctx.Cores,
+		statTxCommitted: ctx.Stats.Counter(sim.StatTxCommitted),
+		statGCRuns:      ctx.Stats.Counter(sim.StatGCRuns),
+		statGCScanned:   ctx.Stats.Counter(sim.StatGCBytesScanned),
+		statGCMigrated:  ctx.Stats.Counter(sim.StatGCBytesMigrated),
 	}
 	s.cursor = s.logBase
 	// Adopt the durable epoch if the device already carries one (rebuilding
@@ -241,7 +250,7 @@ func (s *Scheme) TxEnd(core int, tx persist.TxID, now sim.Time) sim.Time {
 		s.committed[tx] = true
 	}
 	delete(s.liveTx, tx)
-	s.ctx.Stats.Inc(sim.StatTxCommitted)
+	s.statTxCommitted.Inc()
 	return now
 }
 
@@ -313,7 +322,7 @@ func (s *Scheme) runGC(start sim.Time) {
 	}
 	arr := sim.MaxTime(start, s.gcBusy)
 	t := arr
-	s.ctx.Stats.Inc(sim.StatGCRuns)
+	s.statGCRuns.Inc()
 	newest := make(map[mem.PAddr][mem.WordSize]byte)
 	st := s.ctx.Dev.Store()
 	var buf [mem.WordSize]byte
@@ -323,7 +332,7 @@ func (s *Scheme) runGC(start sim.Time) {
 			continue
 		}
 		t = sim.MaxTime(t, s.ctx.Ctrl.Read(r.at, recHdrSize+r.n, arr))
-		s.ctx.Stats.Add(sim.StatGCBytesScanned, int64(recHdrSize+r.n))
+		s.statGCScanned.Add(int64(recHdrSize + r.n))
 		for off := 0; off < r.n; off += mem.WordSize {
 			w := r.addr + mem.PAddr(off)
 			if _, ok := newest[w]; !ok {
@@ -347,7 +356,7 @@ func (s *Scheme) runGC(start sim.Time) {
 		}
 		n := (j - i) * mem.WordSize
 		t = sim.MaxTime(t, s.ctx.Ctrl.Write(lineAddr, n, arr))
-		s.ctx.Stats.Add(sim.StatGCBytesMigrated, int64(n))
+		s.statGCMigrated.Add(int64(n))
 		i = j
 	}
 	// Reset the log under a fresh epoch.

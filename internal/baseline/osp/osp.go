@@ -70,6 +70,8 @@ type Scheme struct {
 	consQ     []uint64
 	nextCons  sim.Time
 	consAgent int
+
+	statTxCommitted *sim.Counter
 }
 
 // New builds the scheme. The durable current-copy bitmap occupies the head
@@ -83,13 +85,14 @@ func New(ctx persist.Context) (*Scheme, error) {
 			bitmapEnd-ctx.Layout.OOP.Base)
 	}
 	return &Scheme{
-		ctx:        ctx,
-		bitmapBase: ctx.Layout.OOP.Base,
-		intentBase: intentBase,
-		txLines:    make([]map[uint64]struct{}, ctx.Cores),
-		shadowCur:  make(map[uint64]struct{}),
-		nextCons:   consolidationPeriod,
-		consAgent:  ctx.Cores + 1,
+		ctx:             ctx,
+		bitmapBase:      ctx.Layout.OOP.Base,
+		intentBase:      intentBase,
+		txLines:         make([]map[uint64]struct{}, ctx.Cores),
+		shadowCur:       make(map[uint64]struct{}),
+		nextCons:        consolidationPeriod,
+		consAgent:       ctx.Cores + 1,
+		statTxCommitted: ctx.Stats.Counter(sim.StatTxCommitted),
 	}, nil
 }
 
@@ -262,7 +265,7 @@ func (s *Scheme) TxEnd(core int, tx persist.TxID, now sim.Time) sim.Time {
 		now += shootdownCost + shootdownPerPage*sim.Duration(len(pages)-1)
 	}
 	s.txLines[core] = nil
-	s.ctx.Stats.Inc(sim.StatTxCommitted)
+	s.statTxCommitted.Inc()
 	return now
 }
 

@@ -57,6 +57,8 @@ type Scheme struct {
 	// checkpoints.
 	ckptQueue []ckptItem
 	ckptAgent int
+
+	statTxCommitted *sim.Counter
 }
 
 type ckptItem struct {
@@ -72,11 +74,12 @@ func New(ctx persist.Context) (*Scheme, error) {
 		return nil, fmt.Errorf("redo: %w", err)
 	}
 	return &Scheme{
-		ctx:       ctx,
-		ring:      ring,
-		txLines:   make([]map[uint64]struct{}, ctx.Cores),
-		redirect:  make(map[uint64]mem.PAddr),
-		ckptAgent: ctx.Cores + 1,
+		ctx:             ctx,
+		ring:            ring,
+		txLines:         make([]map[uint64]struct{}, ctx.Cores),
+		redirect:        make(map[uint64]mem.PAddr),
+		ckptAgent:       ctx.Cores + 1,
+		statTxCommitted: ctx.Stats.Counter(sim.StatTxCommitted),
 	}, nil
 }
 
@@ -161,7 +164,7 @@ func (s *Scheme) TxEnd(core int, tx persist.TxID, now sim.Time) sim.Time {
 		now = s.ctx.Ctrl.Write(at, commitTraffic, now)
 	}
 	s.txLines[core] = nil
-	s.ctx.Stats.Inc(sim.StatTxCommitted)
+	s.statTxCommitted.Inc()
 	return now
 }
 

@@ -45,6 +45,8 @@ type Scheme struct {
 	logged   []map[uint64]struct{} // lines already undo-logged this tx
 	dirty    [][]uint64            // line order for the commit-time force
 	firstSeq []uint64              // first log record of the live tx (truncation bound)
+
+	statTxCommitted *sim.Counter
 }
 
 // New builds the scheme; the undo log occupies the layout's OOP region.
@@ -54,11 +56,12 @@ func New(ctx persist.Context) (*Scheme, error) {
 		return nil, fmt.Errorf("undo: %w", err)
 	}
 	return &Scheme{
-		ctx:      ctx,
-		ring:     ring,
-		logged:   make([]map[uint64]struct{}, ctx.Cores),
-		dirty:    make([][]uint64, ctx.Cores),
-		firstSeq: make([]uint64, ctx.Cores),
+		ctx:             ctx,
+		ring:            ring,
+		logged:          make([]map[uint64]struct{}, ctx.Cores),
+		dirty:           make([][]uint64, ctx.Cores),
+		firstSeq:        make([]uint64, ctx.Cores),
+		statTxCommitted: ctx.Stats.Counter(sim.StatTxCommitted),
 	}, nil
 }
 
@@ -171,7 +174,7 @@ func (s *Scheme) TxEnd(core int, tx persist.TxID, now sim.Time) sim.Time {
 	s.dirty[core] = s.dirty[core][:0]
 	s.firstSeq[core] = 0
 	s.truncate(now)
-	s.ctx.Stats.Inc(sim.StatTxCommitted)
+	s.statTxCommitted.Inc()
 	return now
 }
 

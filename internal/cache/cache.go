@@ -142,11 +142,17 @@ type Eviction struct {
 
 // Hierarchy is the full multi-core cache system.
 type Hierarchy struct {
-	cfg   Config
-	l1    []*level
-	l2    []*level
-	llc   *level
-	stats *sim.Stats
+	cfg Config
+	l1  []*level
+	l2  []*level
+	llc *level
+	// Interned counter handles: exactly one of these fires per Lookup, so
+	// they bypass the name-keyed stats map.
+	l1Hits    *sim.Counter
+	l2Hits    *sim.Counter
+	llcHits   *sim.Counter
+	llcMisses *sim.Counter
+	evictions *sim.Counter
 	// present maps line index -> bitmask of cores whose private hierarchy
 	// (L1 or L2) may hold the line; used for write-invalidation without
 	// scanning all cores on every store.
@@ -159,10 +165,14 @@ func New(cfg Config, stats *sim.Stats) *Hierarchy {
 		panic("cache: cores must be in [1,32]")
 	}
 	h := &Hierarchy{
-		cfg:     cfg,
-		llc:     newLevel(cfg.LLCSize, cfg.LLCWays, cfg.LLCLatency),
-		stats:   stats,
-		present: make(map[uint64]uint32),
+		cfg:       cfg,
+		llc:       newLevel(cfg.LLCSize, cfg.LLCWays, cfg.LLCLatency),
+		l1Hits:    stats.Counter(sim.StatL1Hits),
+		l2Hits:    stats.Counter(sim.StatL2Hits),
+		llcHits:   stats.Counter(sim.StatLLCHits),
+		llcMisses: stats.Counter(sim.StatLLCMisses),
+		evictions: stats.Counter(sim.StatEvictions),
+		present:   make(map[uint64]uint32),
 	}
 	for i := 0; i < cfg.Cores; i++ {
 		h.l1 = append(h.l1, newLevel(cfg.L1Size, cfg.L1Ways, cfg.L1Latency))
@@ -200,7 +210,7 @@ func (h *Hierarchy) Lookup(core int, a mem.PAddr, write, persistent bool) Result
 			h.markL2Dirty(core, idx, persistent)
 			h.invalidateOthers(core, idx)
 		}
-		h.stats.Inc(sim.StatL1Hits)
+		h.l1Hits.Inc()
 		return Result{Latency: lat, HitLevel: 1}
 	}
 	lat += h.cfg.L2Latency
@@ -212,7 +222,7 @@ func (h *Hierarchy) Lookup(core int, a mem.PAddr, write, persistent bool) Result
 			ln.persistent = ln.persistent || persistent
 			h.invalidateOthers(core, idx)
 		}
-		h.stats.Inc(sim.StatL2Hits)
+		h.l2Hits.Inc()
 		return Result{Latency: lat, HitLevel: 2, Writebacks: wbs}
 	}
 	lat += h.cfg.LLCLatency
@@ -223,10 +233,10 @@ func (h *Hierarchy) Lookup(core int, a mem.PAddr, write, persistent bool) Result
 			ln.persistent = ln.persistent || persistent
 			h.invalidateOthers(core, idx)
 		}
-		h.stats.Inc(sim.StatLLCHits)
+		h.llcHits.Inc()
 		return Result{Latency: lat, HitLevel: 3, Writebacks: wbs}
 	}
-	h.stats.Inc(sim.StatLLCMisses)
+	h.llcMisses.Inc()
 	return Result{Latency: lat, HitLevel: 0}
 }
 
@@ -360,7 +370,7 @@ func (h *Hierarchy) Fill(core int, a mem.PAddr, write, persistent bool) []Evicti
 			delete(h.present, v.idx)
 		}
 		if dirty {
-			h.stats.Inc(sim.StatEvictions)
+			h.evictions.Inc()
 			out = append(out, Eviction{Line: mem.PAddr(v.idx << mem.LineShift), Persistent: pers})
 		}
 	}

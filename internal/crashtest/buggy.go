@@ -32,6 +32,8 @@ type buggyScheme struct {
 	ring  *logring.Ring
 	// Per-core write sets of the live transaction, in program order.
 	words [][]persist.WordUpdate
+
+	statTxCommitted *sim.Counter
 }
 
 func init() {
@@ -43,7 +45,7 @@ func init() {
 		if err != nil {
 			return nil, err
 		}
-		return &buggyScheme{ctx: ctx, ring: ring, words: make([][]persist.WordUpdate, ctx.Cores)}, nil
+		return &buggyScheme{ctx: ctx, ring: ring, words: make([][]persist.WordUpdate, ctx.Cores), statTxCommitted: ctx.Stats.Counter(sim.StatTxCommitted)}, nil
 	})
 }
 
@@ -88,7 +90,7 @@ func (s *buggyScheme) TxEnd(core int, tx persist.TxID, now sim.Time) sim.Time {
 		now = s.ctx.Ctrl.Drain(core, now)
 	}
 	s.words[core] = s.words[core][:0]
-	s.ctx.Stats.Inc(sim.StatTxCommitted)
+	s.statTxCommitted.Inc()
 	return now
 }
 

@@ -153,6 +153,11 @@ type System struct {
 	txBegan  []sim.Time
 	txWrites [][]writeRec
 
+	// Interned counter handles for the per-operation stats (one fires per
+	// load/store issued by workload code).
+	statTxLoads  *sim.Counter
+	statTxStores *sim.Counter
+
 	txLatSum  sim.Duration
 	txLatHist sim.Histogram
 	txCount   int64
@@ -212,6 +217,9 @@ func New(cfg Config) (*System, error) {
 		txOpen:   make([]bool, cfg.Threads),
 		txBegan:  make([]sim.Time, cfg.Threads),
 		txWrites: make([][]writeRec, cfg.Threads),
+
+		statTxLoads:  stats.Counter(sim.StatTxLoads),
+		statTxStores: stats.Counter(sim.StatTxStores),
 	}
 	if cfg.TrackOracle {
 		s.oracle = mem.NewStore()

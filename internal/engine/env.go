@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"encoding/binary"
 	"fmt"
 
 	"hoop/internal/mem"
@@ -97,7 +98,7 @@ func (e *Env) Read(addr mem.PAddr, buf []byte) {
 		clk.AdvanceTo(s.hook.LoadOverhead(e.core, addr, clk.Now()))
 	}
 	s.loadOps++
-	s.stats.Inc(sim.StatTxLoads)
+	s.statTxLoads.Inc()
 	s.view.Read(addr, buf)
 }
 
@@ -131,7 +132,7 @@ func (e *Env) Write(addr mem.PAddr, data []byte) {
 	}
 	s.view.Write(addr, data)
 	s.storeOps++
-	s.stats.Inc(sim.StatTxStores)
+	s.statTxStores.Inc()
 }
 
 // WriteWord stores the 8-byte word v at addr.
@@ -168,16 +169,6 @@ func checkAligned(addr mem.PAddr, n int) {
 	}
 }
 
-func leU64(b []byte) uint64 {
-	var v uint64
-	for i := 0; i < 8; i++ {
-		v |= uint64(b[i]) << (8 * i)
-	}
-	return v
-}
+func leU64(b []byte) uint64 { return binary.LittleEndian.Uint64(b) }
 
-func putLE64(b []byte, v uint64) {
-	for i := 0; i < 8; i++ {
-		b[i] = byte(v >> (8 * i))
-	}
-}
+func putLE64(b []byte, v uint64) { binary.LittleEndian.PutUint64(b, v) }

@@ -130,6 +130,44 @@ func TestVerifyRecoveredRequiresOracle(t *testing.T) {
 	expectPanic(t, "no oracle", func() { sys.VerifyRecovered(1) })
 }
 
+// TestVerifyRecoveredStopsAtMaxReport: with far more mismatching bytes
+// than maxReport, the scan must return exactly maxReport mismatches and
+// stop at the lowest-addressed page rather than walking the whole oracle.
+func TestVerifyRecoveredStopsAtMaxReport(t *testing.T) {
+	cfg := engine.DefaultConfig(engine.SchemeNative)
+	cfg.Cores, cfg.Threads, cfg.Cache.Cores = 2, 2, 2
+	cfg.Ctrl.Agents = 4
+	cfg.NVM.Capacity = 1 << 30
+	cfg.OOPBytes = 64 << 20
+	cfg.TrackOracle = true
+	sys, err := engine.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := sys.NewEnv(0)
+	// Commit one word on each of 8 distinct home pages; the durable store
+	// stays empty under the Ideal scheme, so every committed byte
+	// mismatches.
+	for i := 0; i < 8; i++ {
+		env.TxBegin()
+		env.WriteWord(mem.PAddr(i)*mem.PageSize, ^uint64(0))
+		env.TxEnd()
+	}
+	mm := sys.VerifyRecovered(3)
+	if len(mm) != 3 {
+		t.Fatalf("got %d mismatches, want exactly maxReport=3", len(mm))
+	}
+	for _, m := range mm {
+		if m.Addr >= mem.PageSize {
+			t.Fatalf("mismatch at %#x: scan should have stopped inside the first page", uint64(m.Addr))
+		}
+	}
+	// A generous cap still reports every mismatching byte (8 words).
+	if all := sys.VerifyRecovered(1000); len(all) != 64 {
+		t.Fatalf("full scan found %d mismatching bytes, want 64", len(all))
+	}
+}
+
 func TestDrainCacheWritesBackDirtyData(t *testing.T) {
 	sys := smallSystem(t, engine.SchemeNative)
 	env := sys.NewEnv(0)

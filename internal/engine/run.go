@@ -127,19 +127,20 @@ func (s *System) VerifyRecovered(maxReport int) []Mismatch {
 	}
 	var out []Mismatch
 	buf := make([]byte, mem.PageSize)
-	s.oracle.ForEachPage(func(base mem.PAddr, want []byte) {
+	s.oracle.ForEachPageUntil(func(base mem.PAddr, want []byte) bool {
 		if !s.layout.Home.Contains(base) {
-			return
-		}
-		if len(out) >= maxReport {
-			return
+			return true
 		}
 		s.store.Read(base, buf)
 		for i := range want {
-			if want[i] != buf[i] && len(out) < maxReport {
+			if want[i] != buf[i] {
 				out = append(out, Mismatch{Addr: base + mem.PAddr(i), Want: want[i], Got: buf[i]})
+				if len(out) >= maxReport {
+					return false
+				}
 			}
 		}
+		return true
 	})
 	return out
 }

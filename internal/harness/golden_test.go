@@ -1,0 +1,60 @@
+package harness
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"hoop/internal/engine"
+	"hoop/internal/workload"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden grid files from this run")
+
+// TestQuickGridsGolden locks the rendered quick-mode figure grids to a
+// checked-in golden file: performance work on the simulation core (page
+// caches, fast paths, interned counters) must leave every measured number
+// byte-identical. The worker-count determinism tests show serial ==
+// parallel; this one shows today's code == the code the golden was
+// recorded under. Regenerate deliberately with:
+//
+//	go test ./internal/harness -run TestQuickGridsGolden -update
+func TestQuickGridsGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("matrix run is seconds-long")
+	}
+	m, err := RunMatrixOn(Options{Quick: true, Seed: 1},
+		[]workload.Workload{workload.HashMapWL(64), workload.RBTreeWL(64)},
+		engine.AllSchemes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	for _, g := range []*Grid{Figure7a(m), Figure7b(m), Figure8(m), Figure9(m)} {
+		g.Render(&b)
+		b.WriteString("\n")
+	}
+	got := b.String()
+
+	path := filepath.Join("testdata", "quick_grids.golden")
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s", path)
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden (regenerate with -update): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("quick-mode grids diverged from golden %s.\nThe optimization pass must not move measured numbers; if a simulation-model change is intentional, regenerate with -update.\ngot:\n%s\nwant:\n%s",
+			path, got, want)
+	}
+}

@@ -27,9 +27,9 @@ func (s *Scheme) runGC(start sim.Time, onDemand bool) sim.Time {
 	// pass's own completion time comes from the accumulated queueing.
 	arr := sim.MaxTime(start, s.gcBusyUntil)
 	t := arr
-	s.ctx.Stats.Inc(sim.StatGCRuns)
+	s.statGCRuns.Inc()
 	if onDemand {
-		s.ctx.Stats.Inc(sim.StatGCOnDemand)
+		s.statGCOnDemand.Inc()
 	}
 
 	newWM := s.watermark
@@ -53,7 +53,7 @@ func (s *Scheme) runGC(start sim.Time, onDemand bool) sim.Time {
 			for a := p.last; a != 0; {
 				store.Read(a, raw[:])
 				t = sim.MaxTime(t, s.ctx.Ctrl.Read(a, SliceSize, arr))
-				s.ctx.Stats.Add(sim.StatGCBytesScanned, SliceSize)
+				s.statGCScanned.Add(SliceSize)
 				ds, err := DecodeDataSlice(raw[:])
 				if err != nil {
 					panic("hoop: corrupt data slice during GC: " + err.Error())
@@ -112,8 +112,8 @@ func (s *Scheme) runGC(start sim.Time, onDemand bool) sim.Time {
 		migrated += uncoalesced
 		s.gcModifiedBytes += modified
 		s.gcMigratedBytes += migrated
-		s.ctx.Stats.Add(sim.StatGCBytesMigrated, migrated)
-		s.ctx.Stats.Add(sim.StatGCBytesCoalesed, modified-migrated)
+		s.statGCMigrated.Add(migrated)
+		s.statGCCoalesced.Add(modified - migrated)
 
 		// Block accounting: the migrated transactions' slices are dead.
 		for _, p := range s.pending {

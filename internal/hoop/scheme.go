@@ -103,6 +103,20 @@ type Scheme struct {
 	gcBusyUntil sim.Time
 	gcAgent     int
 
+	// Interned counter handles for per-event accounting (slice flushes,
+	// commits, read-path and GC traffic fire on every hot-path event).
+	statSliceFlushes  *sim.Counter
+	statTxCommitted   *sim.Counter
+	statMapHits       *sim.Counter
+	statMapMisses     *sim.Counter
+	statParallelReads *sim.Counter
+	statEvictBufHits  *sim.Counter
+	statGCRuns        *sim.Counter
+	statGCOnDemand    *sim.Counter
+	statGCScanned     *sim.Counter
+	statGCMigrated    *sim.Counter
+	statGCCoalesced   *sim.Counter
+
 	// Cumulative GC coalescing accounting (Table IV).
 	gcModifiedBytes int64
 	gcMigratedBytes int64
@@ -180,6 +194,18 @@ func New(ctx persist.Context, cfg Config) (*Scheme, error) {
 		lineSlice:  make(map[uint64]mem.PAddr),
 		nextGC:     cfg.GCPeriod,
 		gcAgent:    ctx.Cores, // agent slot after the cores
+
+		statSliceFlushes:  ctx.Stats.Counter(sim.StatSliceFlushes),
+		statTxCommitted:   ctx.Stats.Counter(sim.StatTxCommitted),
+		statMapHits:       ctx.Stats.Counter(sim.StatMapHits),
+		statMapMisses:     ctx.Stats.Counter(sim.StatMapMisses),
+		statParallelReads: ctx.Stats.Counter(sim.StatParallelRead),
+		statEvictBufHits:  ctx.Stats.Counter(sim.StatEvictBufHits),
+		statGCRuns:        ctx.Stats.Counter(sim.StatGCRuns),
+		statGCOnDemand:    ctx.Stats.Counter(sim.StatGCOnDemand),
+		statGCScanned:     ctx.Stats.Counter(sim.StatGCBytesScanned),
+		statGCMigrated:    ctx.Stats.Counter(sim.StatGCBytesMigrated),
+		statGCCoalesced:   ctx.Stats.Counter(sim.StatGCBytesCoalesed),
 	}
 	for c := range s.active {
 		s.active[c] = -1
@@ -283,7 +309,7 @@ func (s *Scheme) flushSlice(core, m int, now sim.Time) sim.Time {
 	enc := ds.Encode()
 	s.ctx.Dev.Store().Write(addr, enc[:])
 	s.ctx.Ctrl.PostWrite(core, addr, SliceSize, now)
-	s.ctx.Stats.Inc(sim.StatSliceFlushes)
+	s.statSliceFlushes.Inc()
 	for i := 0; i < ds.Count; i++ {
 		s.lineSlice[mem.LineIndex(ds.Addrs[i])] = addr
 	}
@@ -434,7 +460,7 @@ func (s *Scheme) TxEnd(core int, tx persist.TxID, now sim.Time) sim.Time {
 	}
 	delete(s.activeTx, tx)
 	*cs = coreState{}
-	s.ctx.Stats.Inc(sim.StatTxCommitted)
+	s.statTxCommitted.Inc()
 	return now
 }
 
@@ -466,7 +492,7 @@ func (s *Scheme) appendCommitRec(m int, seq uint64, tx persist.TxID, last mem.PA
 func (s *Scheme) ReadMiss(core int, addr mem.PAddr, now sim.Time) (sim.Time, bool) {
 	line := mem.LineIndex(addr)
 	if e, ok := s.table.remove(line); ok {
-		s.ctx.Stats.Inc(sim.StatMapHits)
+		s.statMapHits.Inc()
 		s.blocks[e.block].mapRefs--
 		done := s.ctx.Ctrl.Read(e.slice, SliceSize, now)
 		if e.count < mem.WordsPerLine {
@@ -474,13 +500,13 @@ func (s *Scheme) ReadMiss(core int, addr mem.PAddr, now sim.Time) (sim.Time, boo
 			// home line in parallel and reconstruct (§III-G).
 			home := s.ctx.Ctrl.Read(mem.LineAddr(addr), mem.LineSize, now)
 			done = sim.MaxTime(done, home)
-			s.ctx.Stats.Inc(sim.StatParallelRead)
+			s.statParallelReads.Inc()
 		}
 		return done + unpackLatency, true
 	}
-	s.ctx.Stats.Inc(sim.StatMapMisses)
+	s.statMapMisses.Inc()
 	if s.evbuf.contains(line) {
-		s.ctx.Stats.Inc(sim.StatEvictBufHits)
+		s.statEvictBufHits.Inc()
 		return now + evictBufLatency, false
 	}
 	return s.ctx.Ctrl.Read(mem.LineAddr(addr), mem.LineSize, now), false

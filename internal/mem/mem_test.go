@@ -165,6 +165,33 @@ func TestStoreForEachPageOrdered(t *testing.T) {
 	}
 }
 
+// TestStoreForEachPageUntilStops verifies the bool-returning walk actually
+// stops visiting pages once the callback returns false (callers like the
+// engine's VerifyRecovered rely on this to bail out early).
+func TestStoreForEachPageUntilStops(t *testing.T) {
+	s := NewStore()
+	for i := 0; i < 16; i++ {
+		s.WriteWord(PAddr(i)*PageSize, uint64(i)+1)
+	}
+	visits := 0
+	s.ForEachPageUntil(func(base PAddr, _ []byte) bool {
+		visits++
+		return visits < 3
+	})
+	if visits != 3 {
+		t.Fatalf("visited %d pages after returning false, want 3", visits)
+	}
+	// Lowest-addressed pages come first, so an early stop sees a prefix.
+	var bases []PAddr
+	s.ForEachPageUntil(func(base PAddr, _ []byte) bool {
+		bases = append(bases, base)
+		return len(bases) < 2
+	})
+	if len(bases) != 2 || bases[0] != 0 || bases[1] != PageSize {
+		t.Fatalf("early-stopped walk saw %v, want first two pages", bases)
+	}
+}
+
 // Property: any write then read of the same range returns the same bytes.
 func TestStoreQuickRoundtrip(t *testing.T) {
 	f := func(addr uint32, data []byte) bool {

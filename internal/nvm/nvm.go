@@ -101,7 +101,13 @@ func (q *queue) acquire(now sim.Time, service sim.Duration) sim.Duration {
 type Device struct {
 	params Params
 	store  *mem.Store
-	stats  *sim.Stats
+
+	// Interned counter handles: one of these fires per simulated line
+	// access, so they bypass the name-keyed map.
+	reads        *sim.Counter
+	bytesRead    *sim.Counter
+	writes       *sim.Counter
+	bytesWritten *sim.Counter
 
 	banks   []queue
 	channel queue
@@ -124,11 +130,14 @@ func NewDevice(p Params, store *mem.Store, stats *sim.Stats) *Device {
 		panic("nvm: bandwidth must be positive")
 	}
 	return &Device{
-		params: p,
-		store:  store,
-		stats:  stats,
-		banks:  make([]queue, p.Banks),
-		wear:   make(map[uint64]int64),
+		params:       p,
+		store:        store,
+		reads:        stats.Counter(sim.StatNVMReads),
+		bytesRead:    stats.Counter(sim.StatNVMBytesRead),
+		writes:       stats.Counter(sim.StatNVMWrites),
+		bytesWritten: stats.Counter(sim.StatNVMBytesWritten),
+		banks:        make([]queue, p.Banks),
+		wear:         make(map[uint64]int64),
 	}
 }
 
@@ -190,8 +199,8 @@ func (d *Device) Read(a mem.PAddr, size int, now sim.Time) sim.Time {
 		t := d.access(a+mem.PAddr(off), n, now, d.params.ReadLatency)
 		done = sim.MaxTime(done, t)
 	}
-	d.stats.Inc(sim.StatNVMReads)
-	d.stats.Add(sim.StatNVMBytesRead, int64(size))
+	d.reads.Inc()
+	d.bytesRead.Add(int64(size))
 	bits := float64(size) * 8
 	d.readEnergyPJ += bits * (d.params.Energy.RowBufferRead + d.params.Energy.ArrayRead)
 	return done
@@ -214,8 +223,8 @@ func (d *Device) Write(a mem.PAddr, size int, now sim.Time) sim.Time {
 		t := d.access(a+mem.PAddr(off), n, now, d.params.WriteLatency)
 		done = sim.MaxTime(done, t)
 	}
-	d.stats.Inc(sim.StatNVMWrites)
-	d.stats.Add(sim.StatNVMBytesWritten, int64(size))
+	d.writes.Inc()
+	d.bytesWritten.Add(int64(size))
 	bits := float64(size) * 8
 	d.writeEnergyPJ += bits * (d.params.Energy.RowBufferWrite + d.params.Energy.ArrayWrite)
 	d.wear[uint64(a)>>wearBucketShift] += int64(size)

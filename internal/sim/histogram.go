@@ -3,14 +3,19 @@ package sim
 import (
 	"fmt"
 	"math"
+	"math/bits"
 	"strings"
 )
+
+// numBuckets is the bucket count: one per power of two of nanoseconds,
+// covering the full Duration range.
+const numBuckets = 64
 
 // Histogram accumulates durations into logarithmic buckets (powers of two
 // of nanoseconds) for cheap, allocation-free percentile estimates — the
 // engine records every transaction's critical-path latency here.
 type Histogram struct {
-	buckets [64]int64
+	buckets [numBuckets]int64
 	count   int64
 	sum     Duration
 	min     Duration
@@ -22,22 +27,11 @@ func bucketOf(d Duration) int {
 	if ns < 1 {
 		return 0
 	}
-	b := 64 - leadingZeros64(uint64(ns))
-	if b >= len((&Histogram{}).buckets) {
-		b = len((&Histogram{}).buckets) - 1
+	b := 64 - bits.LeadingZeros64(uint64(ns))
+	if b >= numBuckets {
+		b = numBuckets - 1
 	}
 	return b
-}
-
-func leadingZeros64(x uint64) int {
-	n := 0
-	for i := 63; i >= 0; i-- {
-		if x&(1<<uint(i)) != 0 {
-			return n
-		}
-		n++
-	}
-	return 64
 }
 
 // Observe records one duration.

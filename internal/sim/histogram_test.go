@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"math"
 	"testing"
 	"testing/quick"
 )
@@ -98,5 +99,63 @@ func TestHistogramNegativeClamped(t *testing.T) {
 	h.Observe(-5)
 	if h.Min() != 0 {
 		t.Fatal("negative observations clamp to zero")
+	}
+}
+
+func TestHistogramZeroBucket(t *testing.T) {
+	var h Histogram
+	h.Observe(0)
+	h.Observe(0)
+	// Sub-nanosecond observations land in bucket 0 alongside zero.
+	h.Observe(Picosecond)
+	if h.Count() != 3 {
+		t.Fatalf("Count = %d", h.Count())
+	}
+	for _, q := range []float64{0.01, 0.5, 0.99} {
+		if got := h.Quantile(q); got != h.Max() {
+			// All mass is in bucket 0, whose upper bound (1 ns) clamps to
+			// the observed max.
+			t.Fatalf("Quantile(%v) = %v, want %v", q, got, h.Max())
+		}
+	}
+	if h.Min() != 0 || h.Max() != Picosecond {
+		t.Fatalf("min/max %v %v", h.Min(), h.Max())
+	}
+}
+
+func TestHistogramTopBucketSaturates(t *testing.T) {
+	var h Histogram
+	huge := Duration(math.MaxInt64)
+	h.Observe(huge)
+	h.Observe(huge - Nanosecond)
+	// Duration is picosecond-based, so the largest observable value lands
+	// well below the defensive numBuckets clamp — but both observations
+	// must share the highest reachable bucket, and bucketOf must stay in
+	// range even for MaxInt64.
+	b := bucketOf(huge)
+	if b < 0 || b >= numBuckets {
+		t.Fatalf("bucketOf(MaxInt64) = %d out of range", b)
+	}
+	if h.buckets[b] != 2 {
+		t.Fatalf("bucket %d holds %d, want 2", b, h.buckets[b])
+	}
+	// The bucket's nominal upper bound (2^b ns) overflows int64 here;
+	// Quantile must still return a value inside the observed range.
+	if got := h.Quantile(0.5); got < h.Min() || got > h.Max() {
+		t.Fatalf("Quantile(0.5) = %v outside [min=%v, max=%v]", got, h.Min(), h.Max())
+	}
+}
+
+func TestHistogramQuantileClampsToMin(t *testing.T) {
+	var h Histogram
+	// 1000 ns lands in the bucket with upper bound 1024 ns, but a lower
+	// bound of 512 ns; the estimate must never fall below the observed min.
+	h.Observe(1000 * Nanosecond)
+	if got := h.Quantile(0.5); got != 1000*Nanosecond {
+		t.Fatalf("Quantile(0.5) = %v, want clamped to max %v", got, 1000*Nanosecond)
+	}
+	h.Observe(1010 * Nanosecond)
+	if got := h.Quantile(0.01); got < h.Min() || got > h.Max() {
+		t.Fatalf("Quantile(0.01) = %v outside [min=%v, max=%v]", got, h.Min(), h.Max())
 	}
 }

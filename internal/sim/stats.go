@@ -11,37 +11,66 @@ import (
 // the harness snapshots them to build the paper's tables. Stats is not safe
 // for concurrent use: each simulated system owns one and the engine runs
 // single-goroutine.
+//
+// Counters are interned: Counter returns a stable handle whose Inc/Add are
+// a plain int64 bump with no map hash, for call sites that fire on every
+// simulated event. The name-keyed Add/Inc/Set/Get remain for cold paths
+// and out-of-tree schemes; both routes update the same underlying value.
 type Stats struct {
-	counters map[string]int64
+	counters map[string]*Counter
 	order    []string
 }
 
+// Counter is an interned handle to one named counter — an *int64 in all
+// but syntax. Hot paths resolve the handle once (at construction) and
+// bump it directly.
+type Counter struct {
+	v int64
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v++ }
+
+// Add increments the counter by delta.
+func (c *Counter) Add(delta int64) { c.v += delta }
+
+// Value reports the counter's current value.
+func (c *Counter) Value() int64 { return c.v }
+
 // NewStats returns an empty registry.
 func NewStats() *Stats {
-	return &Stats{counters: make(map[string]int64)}
+	return &Stats{counters: make(map[string]*Counter)}
+}
+
+// Counter interns name, registering it on first use, and returns its
+// handle. Handles stay valid (and keep counting into the same slot) for
+// the life of the registry, across Reset.
+func (s *Stats) Counter(name string) *Counter {
+	if c, ok := s.counters[name]; ok {
+		return c
+	}
+	c := &Counter{}
+	s.counters[name] = c
+	s.order = append(s.order, name)
+	return c
 }
 
 // Add increments counter name by delta, creating it on first use.
-func (s *Stats) Add(name string, delta int64) {
-	if _, ok := s.counters[name]; !ok {
-		s.order = append(s.order, name)
-	}
-	s.counters[name] += delta
-}
+func (s *Stats) Add(name string, delta int64) { s.Counter(name).v += delta }
 
 // Inc increments counter name by one.
-func (s *Stats) Inc(name string) { s.Add(name, 1) }
+func (s *Stats) Inc(name string) { s.Counter(name).v++ }
 
 // Set overwrites counter name.
-func (s *Stats) Set(name string, v int64) {
-	if _, ok := s.counters[name]; !ok {
-		s.order = append(s.order, name)
-	}
-	s.counters[name] = v
-}
+func (s *Stats) Set(name string, v int64) { s.Counter(name).v = v }
 
 // Get reports counter name (zero if never touched).
-func (s *Stats) Get(name string) int64 { return s.counters[name] }
+func (s *Stats) Get(name string) int64 {
+	if c, ok := s.counters[name]; ok {
+		return c.v
+	}
+	return 0
+}
 
 // Names returns the registered counter names in first-use order.
 func (s *Stats) Names() []string {
@@ -53,16 +82,17 @@ func (s *Stats) Names() []string {
 // Snapshot returns a copy of all counters.
 func (s *Stats) Snapshot() map[string]int64 {
 	out := make(map[string]int64, len(s.counters))
-	for k, v := range s.counters {
-		out[k] = v
+	for k, c := range s.counters {
+		out[k] = c.v
 	}
 	return out
 }
 
-// Reset zeroes every counter but keeps registration order.
+// Reset zeroes every counter but keeps registration order (and every
+// interned handle).
 func (s *Stats) Reset() {
-	for k := range s.counters {
-		s.counters[k] = 0
+	for _, c := range s.counters {
+		c.v = 0
 	}
 }
 
@@ -76,7 +106,7 @@ func (s *Stats) String() string {
 	sort.Strings(names)
 	var b strings.Builder
 	for _, k := range names {
-		fmt.Fprintf(&b, "%-40s %d\n", k, s.counters[k])
+		fmt.Fprintf(&b, "%-40s %d\n", k, s.counters[k].v)
 	}
 	return b.String()
 }
