@@ -177,7 +177,7 @@ func benchScheme(b *testing.B, scheme string) {
 	b.StopTimer()
 	span := sys.MaxClock()
 	if span > 0 {
-		b.ReportMetric(float64(sys.TxCount())/span.Seconds()/1e6, "sim-Mtx/s")
+		b.ReportMetric(float64(sys.Snapshot().Txs)/span.Seconds()/1e6, "sim-Mtx/s")
 	}
 }
 

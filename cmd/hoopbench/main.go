@@ -4,7 +4,8 @@
 //
 // Usage:
 //
-//	hoopbench [-quick] [-seed N] [-parallel N] [-sections tables,fig7-9,tableIV,fig10,fig11,fig12,fig13,area]
+//	hoopbench [-quick] [-seed N] [-workers N] [-trace out.jsonl]
+//	          [-sections tables,fig7-9,tableIV,fig10,fig11,fig12,fig13,area]
 //	          [-cpuprofile out.pprof] [-memprofile out.pprof]
 package main
 
@@ -12,55 +13,37 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"runtime"
-	"runtime/pprof"
 	"strings"
 	"time"
 
+	"hoop/internal/clihelp"
 	"hoop/internal/harness"
 )
 
 func main() {
+	common := clihelp.Common{Seed: 1}
+	common.Register(flag.CommandLine, clihelp.FlagSeed, clihelp.FlagWorkers, clihelp.FlagTrace, clihelp.FlagProfile)
 	quick := flag.Bool("quick", false, "run reduced-size experiments (seconds instead of minutes)")
-	seed := flag.Uint64("seed", 1, "experiment PRNG seed")
 	charts := flag.Bool("charts", false, "also render each grid as ASCII bar charts")
 	artifacts := flag.String("artifacts", "", "directory to write per-figure JSON artifacts into")
-	parallel := flag.Int("parallel", 0, "simulation cells run concurrently (0 = GOMAXPROCS); results are identical for every value")
+	parallel := flag.Int("parallel", 0, "deprecated alias for -workers")
 	sections := flag.String("sections", strings.Join(harness.AllSections, ","),
 		"comma-separated experiment sections to run (extras: "+strings.Join(harness.ExtraSections, ", ")+")")
-	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
-	memprofile := flag.String("memprofile", "", "write a heap profile taken at exit to this file")
 	flag.Parse()
-
-	if *cpuprofile != "" {
-		f, err := os.Create(*cpuprofile)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "hoopbench: -cpuprofile: %v\n", err)
-			os.Exit(1)
-		}
-		defer f.Close()
-		if err := pprof.StartCPUProfile(f); err != nil {
-			fmt.Fprintf(os.Stderr, "hoopbench: -cpuprofile: %v\n", err)
-			os.Exit(1)
-		}
-		defer pprof.StopCPUProfile()
+	if common.Workers == 0 && *parallel != 0 {
+		common.Workers = *parallel
 	}
-	if *memprofile != "" {
-		defer func() {
-			f, err := os.Create(*memprofile)
-			if err != nil {
-				fmt.Fprintf(os.Stderr, "hoopbench: -memprofile: %v\n", err)
-				return
-			}
-			defer f.Close()
-			runtime.GC()
-			if err := pprof.WriteHeapProfile(f); err != nil {
-				fmt.Fprintf(os.Stderr, "hoopbench: -memprofile: %v\n", err)
-			}
-		}()
+	stopProfiles, err := common.StartProfiles()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hoopbench: %v\n", err)
+		os.Exit(1)
 	}
+	defer stopProfiles()
 
-	opts := harness.Options{Quick: *quick, Seed: *seed, Charts: *charts, ArtifactDir: *artifacts, Workers: *parallel}
+	opts := harness.Options{Quick: *quick, Seed: common.Seed, Charts: *charts, ArtifactDir: *artifacts, Workers: common.Workers}
+	if common.Trace != "" {
+		opts.Trace = &harness.TraceCollector{}
+	}
 	var secs []string
 	for _, s := range strings.Split(*sections, ",") {
 		s = strings.TrimSpace(s)
@@ -81,15 +64,28 @@ func main() {
 		secs = append(secs, s)
 	}
 
-	workers := *parallel
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	fmt.Printf("HOOP reproduction benchmark harness (quick=%v, seed=%d, workers=%d)\n", *quick, *seed, workers)
+	fmt.Printf("HOOP reproduction benchmark harness (quick=%v, seed=%d, workers=%d)\n",
+		*quick, common.Seed, common.EffectiveWorkers())
 	start := time.Now()
 	if _, err := harness.RunSections(os.Stdout, opts, secs); err != nil {
 		fmt.Fprintf(os.Stderr, "hoopbench: %v\n", err)
 		os.Exit(1)
+	}
+	if opts.Trace != nil {
+		f, err := os.Create(common.Trace)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hoopbench: -trace: %v\n", err)
+			os.Exit(1)
+		}
+		if _, err := opts.Trace.WriteTo(f); err != nil {
+			fmt.Fprintf(os.Stderr, "hoopbench: -trace: %v\n", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "hoopbench: -trace: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("telemetry trace: %d cells written to %s\n", opts.Trace.Cells(), common.Trace)
 	}
 	fmt.Printf("\ntotal wall-clock: %.1fs\n", time.Since(start).Seconds())
 }

@@ -20,6 +20,7 @@ import (
 	"io"
 	"os"
 
+	"hoop/internal/clihelp"
 	"hoop/internal/crashtest"
 )
 
@@ -32,9 +33,10 @@ func main() {
 
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("hoopcrash", flag.ContinueOnError)
+	common := clihelp.Common{Seed: 1}
+	common.Register(fs, clihelp.FlagSeed)
 	scheme := fs.String("scheme", "all", "scheme name, or \"all\"")
 	mode := fs.String("mode", "exhaustive", "\"exhaustive\" (every crash point of one workload) or \"random\" (one crash point per seed)")
-	seed := fs.Uint64("seed", 1, "workload seed (random mode: first seed of the range)")
 	seeds := fs.Int("seeds", 200, "number of seeds to try in random mode")
 	txs := fs.Int("txs", 8, "transactions per workload")
 	words := fs.Int("words", 4, "max word writes per transaction")
@@ -58,7 +60,7 @@ func run(args []string, out io.Writer) error {
 		schemes = []string{*scheme}
 	}
 
-	w := crashtest.DefaultWorkload(*seed)
+	w := crashtest.DefaultWorkload(common.Seed)
 	w.Txs = *txs
 	w.MaxWords = *words
 	w.AddrWords = *pool
@@ -75,16 +77,16 @@ func run(args []string, out io.Writer) error {
 				fmt.Fprintf(out, "%-16s       repro: hoopcrash -scheme %s -mode exhaustive -seed %d -txs %d -words %d -pool %d -cores %d\n",
 					"", s, v.Seed, *txs, *words, *pool, *cores)
 			} else {
-				fmt.Fprintf(out, "%-16s ok    %d crash points consistent (seed %d)\n", s, points, *seed)
+				fmt.Fprintf(out, "%-16s ok    %d crash points consistent (seed %d)\n", s, points, common.Seed)
 			}
 		case "random":
-			if v := crashtest.RandomSchedules(s, w, *seed, *seeds); v != nil {
+			if v := crashtest.RandomSchedules(s, w, common.Seed, *seeds); v != nil {
 				failed = true
 				fmt.Fprintf(out, "%-16s FAIL  %v\n", s, v)
 				fmt.Fprintf(out, "%-16s       repro: hoopcrash -scheme %s -mode random -seed %d -seeds 1 -txs %d -words %d -pool %d -cores %d\n",
 					"", s, v.Seed, *txs, *words, *pool, *cores)
 			} else {
-				fmt.Fprintf(out, "%-16s ok    %d random crash schedules consistent (seeds %d..%d)\n", s, *seeds, *seed, *seed+uint64(*seeds)-1)
+				fmt.Fprintf(out, "%-16s ok    %d random crash schedules consistent (seeds %d..%d)\n", s, *seeds, common.Seed, common.Seed+uint64(*seeds)-1)
 			}
 		default:
 			return fmt.Errorf("unknown mode %q (want exhaustive or random)", *mode)

@@ -16,6 +16,7 @@ import (
 	"strconv"
 	"strings"
 
+	"hoop/internal/clihelp"
 	"hoop/internal/engine"
 	"hoop/internal/hoop"
 	"hoop/internal/persist"
@@ -31,10 +32,11 @@ func main() {
 
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("hooprecover", flag.ContinueOnError)
+	common := clihelp.Common{Scheme: engine.SchemeHOOP}
+	common.Register(fs, clihelp.FlagScheme, clihelp.FlagTrace)
 	mb := fs.Int("mb", 256, "OOP region fill size in MiB")
 	threadsFlag := fs.String("threads", "1,2,4,8,16", "recovery thread counts")
 	bw := fs.Int("bw", 15, "NVM bandwidth in GB/s")
-	scheme := fs.String("scheme", engine.SchemeHOOP, "persistence scheme (must implement persist.RecoveryScanner)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -48,7 +50,7 @@ func run(args []string, out io.Writer) error {
 		threads = append(threads, v)
 	}
 
-	cfg := engine.DefaultConfig(*scheme)
+	cfg := engine.DefaultConfig(common.Scheme)
 	cfg.NVM.Bandwidth = int64(*bw) << 30
 	cfg.Hoop.CommitLogBytes = 64 << 20
 	cfg.Hoop.GCPeriod = sim.Second // keep the fill un-migrated
@@ -59,8 +61,13 @@ func run(args []string, out io.Writer) error {
 	hs, ok := sys.Scheme().(persist.RecoveryScanner)
 	if !ok {
 		return fmt.Errorf("scheme %s implements no persist.RecoveryScanner; the recovery demo needs an instrumented out-of-place recovery scan (try -scheme %s)",
-			*scheme, engine.SchemeHOOP)
+			common.Scheme, engine.SchemeHOOP)
 	}
+	tf, err := common.OpenTrace()
+	if err != nil {
+		return err
+	}
+	tf.Attach(sys)
 
 	const wordsPerTx = 64
 	numTxs := (*mb << 20) / (8 * hoop.SliceSize)
@@ -82,5 +89,5 @@ func run(args []string, out io.Writer) error {
 		d := hoop.ModelRecoveryTime(rep, t, int64(*bw)<<30)
 		fmt.Fprintf(out, "  %2d threads: %8.1f ms\n", t, d.Milliseconds())
 	}
-	return nil
+	return tf.Close()
 }

@@ -4,7 +4,8 @@
 //
 // Usage:
 //
-//	hoopsim [-scheme HOOP] [-workload hashmap-64] [-txs 20000] [-threads 8] [-seed 1] [-stats]
+//	hoopsim [-scheme HOOP] [-workload hashmap-64] [-txs 20000] [-threads 8] [-seed 1]
+//	        [-trace out.jsonl] [-stats] [-cpuprofile out.pprof] [-memprofile out.pprof]
 package main
 
 import (
@@ -13,9 +14,9 @@ import (
 	"io"
 	"os"
 
+	"hoop/internal/clihelp"
 	"hoop/internal/engine"
 	"hoop/internal/sim"
-	"hoop/internal/workload"
 )
 
 func main() {
@@ -27,77 +28,65 @@ func main() {
 
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("hoopsim", flag.ContinueOnError)
-	scheme := fs.String("scheme", engine.SchemeHOOP, "persistence scheme (HOOP, Opt-Redo, Opt-Undo, OSP, LSM, LAD, Ideal)")
+	common := clihelp.Common{Scheme: engine.SchemeHOOP, Seed: 1}
+	common.Register(fs, clihelp.FlagScheme, clihelp.FlagSeed, clihelp.FlagTrace, clihelp.FlagProfile)
 	wlName := fs.String("workload", "hashmap-64", "workload name from Table III (e.g. vector-64, ycsb-1k, tpcc)")
 	txs := fs.Int("txs", 20000, "transactions to execute")
 	threads := fs.Int("threads", 8, "workload threads")
-	seed := fs.Uint64("seed", 1, "workload PRNG seed")
 	dumpStats := fs.Bool("stats", false, "dump every raw counter")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	stopProfiles, err := common.StartProfiles()
+	if err != nil {
+		return err
+	}
+	defer stopProfiles()
 
-	wl, ok := findWorkload(*wlName)
+	wl, ok := clihelp.FindWorkload(*wlName)
 	if !ok {
 		names := ""
-		for _, w := range append(workload.PaperSuite(), workload.LargeItemSuite()...) {
-			names += "\n  " + w.Name
+		for _, n := range clihelp.WorkloadNames() {
+			names += "\n  " + n
 		}
 		return fmt.Errorf("unknown workload %q; available:%s", *wlName, names)
 	}
 
-	cfg := engine.DefaultConfig(*scheme)
+	cfg := engine.DefaultConfig(common.Scheme)
 	cfg.Threads = *threads
 	sys, err := engine.New(cfg)
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(out, "scheme=%s workload=%s threads=%d txs=%d\n", *scheme, wl.Name, *threads, *txs)
+	tf, err := common.OpenTrace()
+	if err != nil {
+		return err
+	}
+	tf.Attach(sys)
+	fmt.Fprintf(out, "scheme=%s workload=%s threads=%d txs=%d\n", common.Scheme, wl.Name, *threads, *txs)
 	fmt.Fprintf(out, "device: %v\n", sys.Device())
 
-	runners := wl.Runners(sys, *seed)
-	setupTx := sys.TxCount()
-	fmt.Fprintf(out, "setup: %d transactions\n", setupTx)
+	runners := wl.Runners(sys, common.Seed)
+	setup := sys.Snapshot()
+	fmt.Fprintf(out, "setup: %d transactions\n", setup.Txs)
 	sys.ResetMemoryQueues()
 
-	start := sys.MaxClock()
-	startW := sys.Stats().Get("nvm.bytes_written")
-	startLat := sys.TxLatencySum()
+	before := sys.Snapshot()
 	sys.Run(runners, *txs)
-	span := sys.MaxClock() - start
+	win := sys.Snapshot().Delta(before)
 
-	txsDone := sys.TxCount() - setupTx
-	fmt.Fprintf(out, "\nresults over %d transactions:\n", txsDone)
-	fmt.Fprintf(out, "  simulated span     %v\n", span)
-	fmt.Fprintf(out, "  throughput         %.3f M tx/s\n", float64(txsDone)/span.Seconds()/1e6)
-	fmt.Fprintf(out, "  avg tx latency     %v\n", (sys.TxLatencySum()-startLat)/sim.Duration(spanDiv(txsDone)))
-	h := sys.TxLatencyHistogram()
+	fmt.Fprintf(out, "\nresults over %d transactions:\n", win.Txs)
+	fmt.Fprintf(out, "  simulated span     %v\n", sim.Duration(win.Span))
+	fmt.Fprintf(out, "  throughput         %.3f M tx/s\n", float64(win.Txs)/sim.Duration(win.Span).Seconds()/1e6)
+	fmt.Fprintf(out, "  avg tx latency     %v\n", win.AvgTxLatency())
 	fmt.Fprintf(out, "  latency p50/p90/p99 %v / %v / %v (all txs incl. setup)\n",
-		h.Quantile(0.5), h.Quantile(0.9), h.Quantile(0.99))
-	fmt.Fprintf(out, "  NVM bytes written  %d (%.0f per tx)\n",
-		sys.Stats().Get("nvm.bytes_written")-startW,
-		float64(sys.Stats().Get("nvm.bytes_written")-startW)/float64(txsDone))
+		win.TxLatencyP50, win.TxLatencyP90, win.TxLatencyP99)
+	written := win.Counter("nvm.bytes_written")
+	fmt.Fprintf(out, "  NVM bytes written  %d (%.0f per tx)\n", written, float64(written)/float64(win.Txs))
 	fmt.Fprintf(out, "  NVM energy         %.1f uJ\n", sys.Device().TotalEnergyPJ()/1e6)
-	loads, stores := sys.Ops()
-	fmt.Fprintf(out, "  ops                %d loads, %d stores\n", loads, stores)
+	fmt.Fprintf(out, "  ops                %d loads, %d stores\n", win.Loads, win.Stores)
 	if *dumpStats {
 		fmt.Fprintf(out, "\ncounters:\n%s", sys.Stats().String())
 	}
-	return nil
-}
-
-func findWorkload(name string) (workload.Workload, bool) {
-	for _, w := range append(workload.PaperSuite(), workload.LargeItemSuite()...) {
-		if w.Name == name {
-			return w, true
-		}
-	}
-	return workload.Workload{}, false
-}
-
-func spanDiv(n int64) (d int64) {
-	if n == 0 {
-		return 1
-	}
-	return n
+	return tf.Close()
 }

@@ -1,0 +1,193 @@
+// Command hooptop summarizes a JSONL telemetry trace written by
+// `hoopsim -trace`, `hoopbench -trace`, or any telemetry.JSONLSink: per
+// cell it prints the event mix (count and bytes per kind), the simulated
+// span, and an ASCII commit-density timeline. It also serves as the trace
+// validator — any line that neither decodes as an event nor as a cell
+// marker fails the run — which is how CI checks that a trace parses.
+//
+// Usage:
+//
+//	hooptop trace.jsonl
+//	hoopbench -quick -trace /dev/stdout -sections fig10 | hooptop /dev/stdin
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"hoop/internal/sim"
+	"hoop/internal/telemetry"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "hooptop: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// kindAgg accumulates one event kind within one cell.
+type kindAgg struct {
+	n     int64
+	bytes int64
+}
+
+// cell is the per-trace-section aggregation. Traces from single-run tools
+// (hoopsim, hooprecover) have no marker lines and collapse into one
+// unlabeled cell.
+type cell struct {
+	label      string
+	events     int64
+	byKind     [telemetry.NumKinds]kindAgg
+	tMin, tMax sim.Time
+	hasTime    bool
+	commits    []sim.Time
+}
+
+func (c *cell) add(e telemetry.Event) {
+	c.events++
+	c.byKind[e.Kind].n++
+	c.byKind[e.Kind].bytes += e.Bytes
+	if e.Time != 0 {
+		if !c.hasTime || e.Time < c.tMin {
+			c.tMin = e.Time
+		}
+		if !c.hasTime || e.Time > c.tMax {
+			c.tMax = e.Time
+		}
+		c.hasTime = true
+	}
+	if e.Kind == telemetry.KindTxCommit {
+		c.commits = append(c.commits, e.Time)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	if len(args) != 1 {
+		return fmt.Errorf("usage: hooptop trace.jsonl")
+	}
+	f, err := os.Open(args[0])
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+
+	cells, total, err := parse(f)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "%s: %d events in %d cells\n", args[0], total, len(cells))
+	for _, c := range cells {
+		render(out, c)
+	}
+	return nil
+}
+
+// parse splits the trace at {"cell":...} marker lines and aggregates each
+// section. Every other line must decode as an event.
+func parse(r io.Reader) ([]*cell, int64, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	var cells []*cell
+	var cur *cell
+	var total int64
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		if bytes.HasPrefix(line, []byte(`{"cell":`)) {
+			var marker struct {
+				Cell string `json:"cell"`
+			}
+			if err := json.Unmarshal(line, &marker); err != nil {
+				return nil, 0, fmt.Errorf("line %d: bad cell marker: %v", lineNo, err)
+			}
+			cur = &cell{label: marker.Cell}
+			cells = append(cells, cur)
+			continue
+		}
+		e, err := telemetry.DecodeJSON(line)
+		if err != nil {
+			return nil, 0, fmt.Errorf("line %d: %v", lineNo, err)
+		}
+		if cur == nil {
+			cur = &cell{}
+			cells = append(cells, cur)
+		}
+		cur.add(e)
+		total++
+	}
+	if err := sc.Err(); err != nil {
+		return nil, 0, err
+	}
+	return cells, total, nil
+}
+
+func render(out io.Writer, c *cell) {
+	label := c.label
+	if label == "" {
+		label = "(trace)"
+	}
+	span := sim.Duration(0)
+	if c.hasTime {
+		span = sim.Duration(c.tMax - c.tMin)
+	}
+	fmt.Fprintf(out, "\n%s: %d events over %v\n", label, c.events, span)
+	for k := telemetry.Kind(1); int(k) < telemetry.NumKinds; k++ {
+		agg := c.byKind[k]
+		if agg.n == 0 {
+			continue
+		}
+		if agg.bytes != 0 {
+			fmt.Fprintf(out, "  %-14s %10d %14d B\n", k, agg.n, agg.bytes)
+		} else {
+			fmt.Fprintf(out, "  %-14s %10d\n", k, agg.n)
+		}
+	}
+	if tl := timeline(c, 60); tl != "" {
+		fmt.Fprintf(out, "  commits/time  [%s]\n", tl)
+	}
+}
+
+// timeline buckets the cell's commit timestamps over its span and renders
+// commit density as one ASCII level character per bucket.
+func timeline(c *cell, width int) string {
+	if len(c.commits) == 0 || !c.hasTime || c.tMax == c.tMin {
+		return ""
+	}
+	const levels = " .:-=+*#%@"
+	buckets := make([]int, width)
+	span := float64(c.tMax - c.tMin)
+	for _, t := range c.commits {
+		i := int(float64(t-c.tMin) / span * float64(width))
+		if i >= width {
+			i = width - 1
+		}
+		buckets[i]++
+	}
+	max := 0
+	for _, n := range buckets {
+		if n > max {
+			max = n
+		}
+	}
+	b := make([]byte, width)
+	for i, n := range buckets {
+		lvl := 0
+		if n > 0 {
+			lvl = 1 + n*(len(levels)-2)/max
+			if lvl > len(levels)-1 {
+				lvl = len(levels) - 1
+			}
+		}
+		b[i] = levels[lvl]
+	}
+	return string(b)
+}

@@ -1,0 +1,72 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleTrace = `{"cell":"matrix/hashmap-64/HOOP"}
+{"k":"tx_commit","t":1000,"core":0,"tx":1}
+{"k":"slice_write","t":1500,"addr":4096,"bytes":128}
+{"k":"tx_commit","t":2000,"core":1,"tx":2}
+{"k":"gc_start","t":2500,"aux":2}
+{"k":"gc_end","t":3000,"bytes":256,"aux":2}
+{"cell":"matrix/hashmap-64/undo-log"}
+{"k":"log_write","t":900,"core":0,"tx":1,"bytes":48}
+{"k":"tx_commit","t":1100,"core":0,"tx":1}
+`
+
+func writeTrace(t *testing.T, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "trace.jsonl")
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestSummarizesCells(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{writeTrace(t, sampleTrace)}, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, needle := range []string{
+		"7 events in 2 cells",
+		"matrix/hashmap-64/HOOP: 5 events",
+		"matrix/hashmap-64/undo-log: 2 events",
+		"tx_commit",
+		"slice_write",
+		"128 B",
+		"commits/time",
+	} {
+		if !strings.Contains(out, needle) {
+			t.Errorf("output missing %q:\n%s", needle, out)
+		}
+	}
+}
+
+func TestMarkerlessTraceIsOneCell(t *testing.T) {
+	var b strings.Builder
+	trace := `{"k":"tx_commit","t":10,"core":0}` + "\n"
+	if err := run([]string{writeTrace(t, trace)}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "1 events in 1 cells") {
+		t.Fatalf("markerless trace not collapsed into one cell:\n%s", b.String())
+	}
+}
+
+func TestRejectsBadLines(t *testing.T) {
+	var b strings.Builder
+	err := run([]string{writeTrace(t, `{"k":"no-such-kind","t":1}`+"\n")}, &b)
+	if err == nil || !strings.Contains(err.Error(), "line 1") {
+		t.Fatalf("bad event kind not rejected: %v", err)
+	}
+	err = run([]string{writeTrace(t, "not json\n")}, &b)
+	if err == nil {
+		t.Fatal("non-JSON line not rejected")
+	}
+}

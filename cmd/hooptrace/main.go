@@ -13,10 +13,10 @@ import (
 	"io"
 	"os"
 
+	"hoop/internal/clihelp"
 	"hoop/internal/engine"
 	"hoop/internal/sim"
 	"hoop/internal/trace"
-	"hoop/internal/workload"
 )
 
 func main() {
@@ -42,26 +42,18 @@ func run(args []string, out io.Writer) error {
 	}
 }
 
-func findWorkload(name string) (workload.Workload, bool) {
-	for _, w := range append(workload.PaperSuite(), workload.LargeItemSuite()...) {
-		if w.Name == name {
-			return w, true
-		}
-	}
-	return workload.Workload{}, false
-}
-
 func record(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("record", flag.ContinueOnError)
+	common := clihelp.Common{Seed: 1}
+	common.Register(fs, clihelp.FlagSeed)
 	wlName := fs.String("workload", "hashmap-64", "Table III workload to trace")
 	txs := fs.Int("txs", 5000, "transactions to record (setup transactions are recorded too)")
 	outPath := fs.String("o", "workload.trc", "output trace file")
-	seed := fs.Uint64("seed", 1, "workload PRNG seed")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	wl, ok := findWorkload(*wlName)
+	wl, ok := clihelp.FindWorkload(*wlName)
 	if !ok {
 		return fmt.Errorf("unknown workload %q", *wlName)
 	}
@@ -76,14 +68,14 @@ func record(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	sys.SetTracer(rec)
-	runners := wl.Runners(sys, *seed)
+	sys.Subscribe(rec, trace.RecordMask)
+	runners := wl.Runners(sys, common.Seed)
 	sys.Run(runners, *txs)
 	if err := rec.Flush(); err != nil {
 		return err
 	}
 	fmt.Fprintf(out, "recorded %d ops (%d transactions incl. setup) to %s\n",
-		rec.Count(), sys.TxCount(), *outPath)
+		rec.Count(), sys.Snapshot().Txs, *outPath)
 	return f.Close()
 }
 
@@ -132,11 +124,13 @@ func dump(args []string, out io.Writer) error {
 
 func replay(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("replay", flag.ContinueOnError)
+	common := clihelp.Common{Scheme: engine.SchemeHOOP}
+	common.Register(fs, clihelp.FlagScheme)
 	in := fs.String("i", "workload.trc", "input trace file")
-	scheme := fs.String("scheme", engine.SchemeHOOP, "persistence scheme to replay against")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	scheme := &common.Scheme
 
 	f, err := os.Open(*in)
 	if err != nil {
@@ -156,7 +150,7 @@ func replay(args []string, out io.Writer) error {
 	fmt.Fprintf(out, "  simulated span    %v\n", span)
 	if txs > 0 && span > 0 {
 		fmt.Fprintf(out, "  throughput        %.3f M tx/s\n", float64(txs)/span.Seconds()/1e6)
-		fmt.Fprintf(out, "  avg tx latency    %v\n", sys.TxLatencySum()/sim.Duration(txs))
+		fmt.Fprintf(out, "  avg tx latency    %v\n", sys.Snapshot().TxLatencySum/sim.Duration(txs))
 	}
 	fmt.Fprintf(out, "  NVM bytes written %d\n", sys.Stats().Get("nvm.bytes_written"))
 	return nil

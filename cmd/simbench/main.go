@@ -10,9 +10,12 @@
 // Usage:
 //
 //	simbench [-o BENCH_simcore.json] [-baseline old.json] [-skip-figure]
+//	         [-failregress 0.05]
 //
 // With -baseline, each primitive also reports its speedup over the
-// baseline file's ns/op (speedup > 1 means this tree is faster).
+// baseline file's ns/op (speedup > 1 means this tree is faster). With
+// -failregress F the process exits non-zero when any primitive is more
+// than the fraction F slower than the baseline — the CI hot-path gate.
 package main
 
 import (
@@ -26,6 +29,7 @@ import (
 	"time"
 
 	"hoop/internal/cache"
+	"hoop/internal/clihelp"
 	"hoop/internal/engine"
 	"hoop/internal/harness"
 	"hoop/internal/mem"
@@ -179,7 +183,21 @@ func main() {
 	out := flag.String("o", "BENCH_simcore.json", "output JSON path (- for stdout)")
 	baselinePath := flag.String("baseline", "", "previous BENCH_simcore.json to compute speedups against")
 	skipFigure := flag.Bool("skip-figure", false, "skip the quick Figure-7a matrix wall-time measurement")
+	failRegress := flag.Float64("failregress", 0,
+		"fail when any primitive regresses more than this fraction vs -baseline (0 disables; e.g. 0.05 = 5%)")
+	var common clihelp.Common
+	common.Register(flag.CommandLine, clihelp.FlagProfile)
 	flag.Parse()
+	if *failRegress > 0 && *baselinePath == "" {
+		fmt.Fprintln(os.Stderr, "simbench: -failregress needs -baseline")
+		os.Exit(1)
+	}
+	stopProfiles, err := common.StartProfiles()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "simbench: %v\n", err)
+		os.Exit(1)
+	}
+	defer stopProfiles()
 
 	f := &File{
 		Schema:                   "hoop-simcore-bench/v1",
@@ -263,5 +281,23 @@ func main() {
 	if _, err := w.Write(data); err != nil {
 		fmt.Fprintf(os.Stderr, "simbench: %v\n", err)
 		os.Exit(1)
+	}
+
+	if *failRegress > 0 {
+		// Wall-clock benchmarks on shared CI runners are noisy; a regression
+		// must clear the threshold to fail the gate, and the threshold is the
+		// caller's to tune (CI uses 5%).
+		limit := 1 / (1 + *failRegress)
+		failed := false
+		for name, pr := range f.Primitives {
+			if pr.SpeedupVsBaseline > 0 && pr.SpeedupVsBaseline < limit {
+				fmt.Fprintf(os.Stderr, "simbench: REGRESSION %s: %.1f%% slower than baseline (%.2fx)\n",
+					name, (1/pr.SpeedupVsBaseline-1)*100, pr.SpeedupVsBaseline)
+				failed = true
+			}
+		}
+		if failed {
+			os.Exit(1)
+		}
 	}
 }

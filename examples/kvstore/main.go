@@ -39,20 +39,15 @@ func main() {
 		}
 		runners := workload.YCSB(*val).Runners(sys, 99)
 		sys.ResetMemoryQueues()
-		startClock := sys.MaxClock()
-		startTx := sys.TxCount()
-		startLat := sys.TxLatencySum()
-		startW := sys.Stats().Get("nvm.bytes_written")
-		startE := sys.Device().TotalEnergyPJ()
+		before := sys.Snapshot()
 		sys.Run(runners, *txs)
-		n := sys.TxCount() - startTx
-		span := sys.MaxClock() - startClock
+		win := sys.Snapshot().Delta(before)
 		rows = append(rows, row{
 			name: scheme,
-			tput: float64(n) / span.Seconds() / 1e3,
-			lat:  (sys.TxLatencySum() - startLat) / sim.Duration(n),
-			bpt:  float64(sys.Stats().Get("nvm.bytes_written")-startW) / float64(n),
-			ept:  (sys.Device().TotalEnergyPJ() - startE) / float64(n) / 1e3, // nJ
+			tput: float64(win.Txs) / sim.Duration(win.Span).Seconds() / 1e3,
+			lat:  win.AvgTxLatency(),
+			bpt:  float64(win.Counter(sim.StatNVMBytesWritten)) / float64(win.Txs),
+			ept:  win.TotalEnergyPJ() / float64(win.Txs) / 1e3, // nJ
 		})
 	}
 	for _, r := range rows {

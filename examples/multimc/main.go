@@ -33,17 +33,13 @@ func main() {
 		}
 		runners := workload.HashMapWL(64).Runners(sys, 5)
 		sys.ResetMemoryQueues()
-		start := sys.MaxClock()
-		startTx := sys.TxCount()
-		startLat := sys.TxLatencySum()
+		before := sys.Snapshot()
 		sys.Run(runners, *txs)
-		nTx := sys.TxCount() - startTx
-		span := sys.MaxClock() - start
-		h := sys.TxLatencyHistogram()
+		win := sys.Snapshot().Delta(before)
 		fmt.Printf("%-14d %14.2f %14v %12v\n", n,
-			float64(nTx)/span.Seconds()/1e6,
-			(sys.TxLatencySum()-startLat)/sim.Duration(nTx),
-			h.Quantile(0.99))
+			float64(win.Txs)/sim.Duration(win.Span).Seconds()/1e6,
+			win.AvgTxLatency(),
+			win.TxLatencyP99)
 
 		// Crash and verify the two-phase commit's recovery consensus.
 		sys.Crash()

@@ -79,7 +79,7 @@ func main() {
 			fmt.Printf("user %d: <not present>\n", key)
 		}
 	}
-	fmt.Printf("\ntransactions committed: %d, simulated time: %v\n", sys.TxCount(), sys.MaxClock())
+	fmt.Printf("\ntransactions committed: %d, simulated time: %v\n", sys.Snapshot().Txs, sys.MaxClock())
 }
 
 func trim(b []byte) string {

@@ -28,22 +28,23 @@ func main() {
 		log.Fatal(err)
 	}
 	runners := workload.TPCC().Runners(sys, 7)
-	setupTx := sys.TxCount()
+	setup := sys.Snapshot()
 	sys.ResetMemoryQueues()
 
 	fmt.Printf("running %d TPC-C new-order transactions on HOOP (8 warehouses/threads)...\n", *txs)
 	sys.Run(runners, *txs)
-	n := sys.TxCount() - setupTx
+	snap := sys.Snapshot()
+	n := snap.Txs - setup.Txs
 	span := sys.MaxClock()
 	hs := sys.Scheme().(*hoop.Scheme)
 	hs.ForceGC(sys.MaxClock())
 
 	fmt.Printf("\n  committed:        %d new-order transactions\n", n)
 	fmt.Printf("  throughput:       %.2f M tx/s\n", float64(n)/span.Seconds()/1e6)
-	fmt.Printf("  avg latency:      %v\n", sys.AvgTxLatency())
+	fmt.Printf("  avg latency:      %v\n", snap.AvgTxLatency())
 	st := sys.Stats()
 	fmt.Printf("  memory slices:    %d packed (%.2f per tx)\n",
-		st.Get(sim.StatSliceFlushes), float64(st.Get(sim.StatSliceFlushes))/float64(sys.TxCount()))
+		st.Get(sim.StatSliceFlushes), float64(st.Get(sim.StatSliceFlushes))/float64(snap.Txs))
 	fmt.Printf("  GC runs:          %d (%d on demand)\n", st.Get(sim.StatGCRuns), st.Get(sim.StatGCOnDemand))
 	fmt.Printf("  GC coalescing:    %.1f%% of modified bytes never re-written home\n", hs.DataReduction()*100)
 	fmt.Printf("  mapping table:    %d live entries, %d hits / %d misses\n",

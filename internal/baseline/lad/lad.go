@@ -19,6 +19,7 @@ import (
 	"hoop/internal/mem"
 	"hoop/internal/persist"
 	"hoop/internal/sim"
+	"hoop/internal/telemetry"
 )
 
 // Timing constants.
@@ -105,6 +106,14 @@ func (s *Scheme) Store(core int, tx persist.TxID, addr mem.PAddr, val []byte, no
 				mem.PAddr((s.spillCnt[core]%queueCapLines)*mem.LineSize)
 			s.spillCnt[core]++
 			s.ctx.Ctrl.PostWrite(core, spill, mem.LineSize, now)
+			// LAD has no log; the staging spill is its only out-of-place
+			// write, so it reports as the scheme's log traffic.
+			if s.ctx.Tel.Enabled(telemetry.KindLogWrite) {
+				s.ctx.Tel.Emit(telemetry.Event{
+					Kind: telemetry.KindLogWrite, Time: now, Core: int16(core),
+					Tx: uint64(tx), Addr: spill, Bytes: mem.LineSize,
+				})
+			}
 		}
 		s.txLines[core][line] = struct{}{}
 	}

@@ -19,6 +19,7 @@ import (
 	"hoop/internal/persist"
 	"hoop/internal/sim"
 	"hoop/internal/skiplist"
+	"hoop/internal/telemetry"
 )
 
 // Log record: [magic u32][epoch u32][txid u64][addr u64][len u32][pad u32]
@@ -225,6 +226,12 @@ func (s *Scheme) TxBegin(core int, now sim.Time) (persist.TxID, sim.Time) {
 func (s *Scheme) Store(core int, tx persist.TxID, addr mem.PAddr, val []byte, now sim.Time) sim.Time {
 	at, _ := s.appendRecord(tx, addr, val)
 	s.ctx.Ctrl.PostWrite(core, at, recTraffic(len(val)), now)
+	if s.ctx.Tel.Enabled(telemetry.KindLogWrite) {
+		s.ctx.Tel.Emit(telemetry.Event{
+			Kind: telemetry.KindLogWrite, Time: now, Core: int16(core),
+			Tx: uint64(tx), Addr: at, Bytes: int64(recTraffic(len(val))),
+		})
+	}
 	s.liveTx[tx]++
 	var hops int
 	for off := 0; off < len(val); off += mem.WordSize {
@@ -248,6 +255,12 @@ func (s *Scheme) TxEnd(core int, tx persist.TxID, now sim.Time) sim.Time {
 		now = s.ctx.Ctrl.Write(at, recTraffic(0), now)
 		now += commitFence
 		s.committed[tx] = true
+		if s.ctx.Tel.Enabled(telemetry.KindLogWrite) {
+			s.ctx.Tel.Emit(telemetry.Event{
+				Kind: telemetry.KindLogWrite, Time: now, Core: int16(core),
+				Tx: uint64(tx), Addr: at, Bytes: int64(recTraffic(0)),
+			})
+		}
 	}
 	delete(s.liveTx, tx)
 	s.statTxCommitted.Inc()
@@ -323,6 +336,14 @@ func (s *Scheme) runGC(start sim.Time) {
 	arr := sim.MaxTime(start, s.gcBusy)
 	t := arr
 	s.statGCRuns.Inc()
+	if s.ctx.Tel.Enabled(telemetry.KindGCStart) {
+		s.ctx.Tel.Emit(telemetry.Event{
+			Kind: telemetry.KindGCStart, Time: arr, Core: -1,
+			Aux: int64(len(s.records)),
+		})
+	}
+	scannedBefore := s.statGCScanned.Value()
+	migratedBefore := s.statGCMigrated.Value()
 	newest := make(map[mem.PAddr][mem.WordSize]byte)
 	st := s.ctx.Dev.Store()
 	var buf [mem.WordSize]byte
@@ -368,6 +389,13 @@ func (s *Scheme) runGC(start sim.Time) {
 	s.committed = make(map[persist.TxID]bool)
 	s.index.Clear()
 	s.lineWords = make(map[uint64]int)
+	if s.ctx.Tel.Enabled(telemetry.KindGCEnd) {
+		s.ctx.Tel.Emit(telemetry.Event{
+			Kind: telemetry.KindGCEnd, Time: t, Core: -1,
+			Bytes: s.statGCMigrated.Value() - migratedBefore,
+			Aux:   s.statGCScanned.Value() - scannedBefore,
+		})
+	}
 	s.gcBusy = t
 }
 

@@ -17,6 +17,7 @@ import (
 	"hoop/internal/mem"
 	"hoop/internal/persist"
 	"hoop/internal/sim"
+	"hoop/internal/telemetry"
 )
 
 // shadowBase maps a home line to its shadow twin: shadow(x) = shadowBase+x.
@@ -262,6 +263,15 @@ func (s *Scheme) TxEnd(core int, tx persist.TxID, now sim.Time) sim.Time {
 		}
 		st.WriteWord(s.intentBase, 0)
 		s.ctx.Ctrl.PostWrite(core, s.intentBase, 8, now)
+		// The intent record is this scheme's commit log: one append per
+		// transaction covering the header plus flip entries.
+		if s.ctx.Tel.Enabled(telemetry.KindLogWrite) {
+			s.ctx.Tel.Emit(telemetry.Event{
+				Kind: telemetry.KindLogWrite, Time: now, Core: int16(core),
+				Tx: uint64(tx), Addr: s.intentBase,
+				Bytes: 8 + int64(len(bws))*intentEntrySize,
+			})
+		}
 		now += shootdownCost + shootdownPerPage*sim.Duration(len(pages)-1)
 	}
 	s.txLines[core] = nil
@@ -324,6 +334,16 @@ func (s *Scheme) consolidate(now sim.Time, batch int) {
 		}
 	}
 	sort.Slice(lines, func(i, j int) bool { return lines[i] < lines[j] })
+	if len(lines) == 0 {
+		return
+	}
+	// A consolidation pass is this scheme's cleanup epoch: shadow-current
+	// lines migrate back to their primary location.
+	if s.ctx.Tel.Enabled(telemetry.KindGCStart) {
+		s.ctx.Tel.Emit(telemetry.Event{
+			Kind: telemetry.KindGCStart, Time: now, Core: -1, Aux: int64(len(lines)),
+		})
+	}
 	var buf [mem.LineSize]byte
 	for _, l := range lines {
 		home := mem.PAddr(l << mem.LineShift)
@@ -333,6 +353,12 @@ func (s *Scheme) consolidate(now sim.Time, batch int) {
 		s.ctx.Ctrl.Write(home, mem.LineSize, now)
 		at := s.setCurrent(l, false)
 		s.ctx.Ctrl.PostWrite(s.consAgent, at, 8, now)
+	}
+	if s.ctx.Tel.Enabled(telemetry.KindGCEnd) {
+		s.ctx.Tel.Emit(telemetry.Event{
+			Kind: telemetry.KindGCEnd, Time: now, Core: -1,
+			Bytes: int64(len(lines)) * mem.LineSize, Aux: int64(len(lines)),
+		})
 	}
 }
 

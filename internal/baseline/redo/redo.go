@@ -19,6 +19,7 @@ import (
 	"hoop/internal/mem"
 	"hoop/internal/persist"
 	"hoop/internal/sim"
+	"hoop/internal/telemetry"
 )
 
 // Record payload: [flags|txid u64][home line addr u64][64-byte new image].
@@ -146,6 +147,12 @@ func (s *Scheme) TxEnd(core int, tx persist.TxID, now sim.Time) sim.Time {
 		copy(payload[16:], buf[:])
 		seq, at := s.ring.Append(s.ctx.Dev.Store(), payload[:])
 		s.ctx.Ctrl.PostWrite(core, at, entryTraffic, now)
+		if s.ctx.Tel.Enabled(telemetry.KindLogWrite) {
+			s.ctx.Tel.Emit(telemetry.Event{
+				Kind: telemetry.KindLogWrite, Time: now, Core: int16(core),
+				Tx: uint64(tx), Addr: at, Bytes: entryTraffic,
+			})
+		}
 		s.redirect[l] = at
 		var item ckptItem
 		item.line = l
@@ -162,6 +169,12 @@ func (s *Scheme) TxEnd(core int, tx persist.TxID, now sim.Time) sim.Time {
 		binary.LittleEndian.PutUint64(payload[0:], uint64(tx)|commitFlag)
 		_, at := s.ring.Append(s.ctx.Dev.Store(), payload[:])
 		now = s.ctx.Ctrl.Write(at, commitTraffic, now)
+		if s.ctx.Tel.Enabled(telemetry.KindLogWrite) {
+			s.ctx.Tel.Emit(telemetry.Event{
+				Kind: telemetry.KindLogWrite, Time: now, Core: int16(core),
+				Tx: uint64(tx), Addr: at, Bytes: commitTraffic,
+			})
+		}
 	}
 	s.txLines[core] = nil
 	s.statTxCommitted.Inc()
@@ -196,23 +209,35 @@ func (s *Scheme) Evict(core int, ev cache.Eviction, now sim.Time) sim.Time {
 // Tick implements persist.Scheme: run a bounded slice of background
 // checkpointing.
 func (s *Scheme) Tick(now sim.Time) {
-	s.checkpoint(now, checkpointBatch)
+	s.checkpoint(now, checkpointBatch, false)
 }
 
 // forceCheckpoint drains the whole checkpoint queue synchronously (log
 // ring full): truncation moves onto the critical path.
 func (s *Scheme) forceCheckpoint(now sim.Time) sim.Time {
-	return s.checkpoint(now, len(s.ckptQueue))
+	return s.checkpoint(now, len(s.ckptQueue), true)
 }
 
 // checkpoint applies up to n committed line images in place and truncates
-// the log past them.
-func (s *Scheme) checkpoint(now sim.Time, n int) sim.Time {
+// the log past them. A checkpoint batch is this scheme's cleanup epoch, so
+// it brackets the work with GC start/end events; onDemand marks batches
+// forced by a full log ring (truncation on the critical path).
+func (s *Scheme) checkpoint(now sim.Time, n int, onDemand bool) sim.Time {
 	if n > len(s.ckptQueue) {
 		n = len(s.ckptQueue)
 	}
 	if n == 0 {
 		return now
+	}
+	if s.ctx.Tel.Enabled(telemetry.KindGCStart) {
+		var flags uint8
+		if onDemand {
+			flags = telemetry.FlagOnDemand
+		}
+		s.ctx.Tel.Emit(telemetry.Event{
+			Kind: telemetry.KindGCStart, Time: now, Core: -1,
+			Aux: int64(n), Flags: flags,
+		})
 	}
 	// The batch is issued as a burst at the current time; its completion
 	// comes from the accumulated queueing (matters when the log ring is
@@ -250,6 +275,12 @@ func (s *Scheme) checkpoint(now sim.Time, n int) sim.Time {
 	if maxSeq > s.ring.Watermark() {
 		s.ring.Truncate(s.ctx.Dev.Store(), maxSeq)
 		s.ctx.Ctrl.PostWrite(s.ckptAgent, s.ring.WatermarkAddr(), mem.LineSize, now)
+	}
+	if s.ctx.Tel.Enabled(telemetry.KindGCEnd) {
+		s.ctx.Tel.Emit(telemetry.Event{
+			Kind: telemetry.KindGCEnd, Time: now, Core: -1,
+			Bytes: int64(n) * mem.LineSize, Aux: int64(n),
+		})
 	}
 	return now
 }

@@ -20,6 +20,7 @@ import (
 	"hoop/internal/mem"
 	"hoop/internal/persist"
 	"hoop/internal/sim"
+	"hoop/internal/telemetry"
 )
 
 // Record payload: [flags|txid u64][home line addr u64][64-byte old image].
@@ -134,6 +135,12 @@ func (s *Scheme) Store(core int, tx persist.TxID, addr mem.PAddr, val []byte, no
 		if s.firstSeq[core] == 0 {
 			s.firstSeq[core] = seq
 		}
+		if s.ctx.Tel.Enabled(telemetry.KindLogWrite) {
+			s.ctx.Tel.Emit(telemetry.Event{
+				Kind: telemetry.KindLogWrite, Time: now, Core: int16(core),
+				Tx: uint64(tx), Addr: at, Bytes: entryTraffic,
+			})
+		}
 
 		// Log-before-data ordering enforced in the controller: the old-
 		// image read and log write are posted back-to-back on the core's
@@ -169,6 +176,12 @@ func (s *Scheme) TxEnd(core int, tx persist.TxID, now sim.Time) sim.Time {
 		binary.LittleEndian.PutUint64(payload[0:], uint64(tx)|commitFlag)
 		_, at := s.ring.Append(s.ctx.Dev.Store(), payload[:])
 		now = s.ctx.Ctrl.Write(at, commitTraffic, now)
+		if s.ctx.Tel.Enabled(telemetry.KindLogWrite) {
+			s.ctx.Tel.Emit(telemetry.Event{
+				Kind: telemetry.KindLogWrite, Time: now, Core: int16(core),
+				Tx: uint64(tx), Addr: at, Bytes: commitTraffic,
+			})
+		}
 	}
 	s.logged[core] = nil
 	s.dirty[core] = s.dirty[core][:0]
@@ -189,8 +202,22 @@ func (s *Scheme) truncate(now sim.Time) {
 		}
 	}
 	if bound > s.ring.Watermark() {
+		retired := int64(bound - s.ring.Watermark())
 		s.ring.Truncate(s.ctx.Dev.Store(), bound)
 		s.ctx.Ctrl.PostWrite(s.ctx.Cores, s.ring.WatermarkAddr(), mem.LineSize, now)
+		// Log truncation is this scheme's cleanup epoch: it retires dead
+		// undo records, the analogue of HOOP's GC advancing its watermark.
+		if s.ctx.Tel.Enabled(telemetry.KindGCStart) {
+			s.ctx.Tel.Emit(telemetry.Event{
+				Kind: telemetry.KindGCStart, Time: now, Core: -1, Aux: retired,
+			})
+		}
+		if s.ctx.Tel.Enabled(telemetry.KindGCEnd) {
+			s.ctx.Tel.Emit(telemetry.Event{
+				Kind: telemetry.KindGCEnd, Time: now, Core: -1,
+				Bytes: retired * int64(s.ring.RecordBytes()), Aux: retired,
+			})
+		}
 	}
 }
 

@@ -16,6 +16,7 @@ import (
 
 	"hoop/internal/mem"
 	"hoop/internal/sim"
+	"hoop/internal/telemetry"
 )
 
 // Config sizes the hierarchy. All sizes are in bytes, latencies in
@@ -157,6 +158,8 @@ type Hierarchy struct {
 	// (L1 or L2) may hold the line; used for write-invalidation without
 	// scanning all cores on every store.
 	present map[uint64]uint32
+
+	tel *telemetry.Hub
 }
 
 // New builds a hierarchy for cfg.
@@ -183,6 +186,12 @@ func New(cfg Config, stats *sim.Stats) *Hierarchy {
 
 // Config reports the hierarchy configuration.
 func (h *Hierarchy) Config() Config { return h.cfg }
+
+// AttachTelemetry connects the hierarchy to a telemetry hub. A
+// KindCacheMiss event fires per full-hierarchy miss while subscribed; the
+// events carry no time — the hierarchy is tag-only and untimed, latency
+// is charged by the caller.
+func (h *Hierarchy) AttachTelemetry(hub *telemetry.Hub) { h.tel = hub }
 
 // Result reports the outcome of a Lookup.
 type Result struct {
@@ -237,6 +246,19 @@ func (h *Hierarchy) Lookup(core int, a mem.PAddr, write, persistent bool) Result
 		return Result{Latency: lat, HitLevel: 3, Writebacks: wbs}
 	}
 	h.llcMisses.Inc()
+	if h.tel.Enabled(telemetry.KindCacheMiss) {
+		var flags uint8
+		if write {
+			flags = telemetry.FlagWrite
+		}
+		h.tel.Emit(telemetry.Event{
+			Kind:  telemetry.KindCacheMiss,
+			Core:  int16(core),
+			Addr:  mem.PAddr(idx << mem.LineShift),
+			Bytes: mem.LineSize,
+			Flags: flags,
+		})
+	}
 	return Result{Latency: lat, HitLevel: 0}
 }
 

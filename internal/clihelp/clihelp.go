@@ -1,0 +1,166 @@
+// Package clihelp is the flag scaffolding shared by the cmd/* mains: the
+// -scheme/-seed/-workers selection flags, the -trace JSONL telemetry sink,
+// the -cpuprofile/-memprofile pair, and workload lookup. Keeping the
+// spellings and help text here means every command exposes the same
+// vocabulary for the same concept.
+package clihelp
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"strings"
+
+	"hoop/internal/engine"
+	"hoop/internal/telemetry"
+	"hoop/internal/workload"
+)
+
+// Flag-block names accepted by Register.
+const (
+	FlagScheme  = "scheme"
+	FlagSeed    = "seed"
+	FlagWorkers = "workers"
+	FlagTrace   = "trace"
+	FlagProfile = "profile" // registers -cpuprofile and -memprofile
+)
+
+// Common holds the shared flag values. Set a field before Register to
+// change that flag's default.
+type Common struct {
+	Scheme     string
+	Seed       uint64
+	Workers    int
+	Trace      string
+	CPUProfile string
+	MemProfile string
+}
+
+// Register adds the requested flag blocks to fs.
+func (c *Common) Register(fs *flag.FlagSet, blocks ...string) {
+	for _, b := range blocks {
+		switch b {
+		case FlagScheme:
+			fs.StringVar(&c.Scheme, FlagScheme, c.Scheme,
+				"persistence scheme ("+strings.Join(engine.AllSchemes, ", ")+")")
+		case FlagSeed:
+			fs.Uint64Var(&c.Seed, FlagSeed, c.Seed, "PRNG seed (same seed, same simulated run)")
+		case FlagWorkers:
+			fs.IntVar(&c.Workers, FlagWorkers, c.Workers,
+				"simulation cells run concurrently (0 = GOMAXPROCS); results are identical for every value")
+		case FlagTrace:
+			fs.StringVar(&c.Trace, FlagTrace, c.Trace,
+				"write a JSONL telemetry trace to this file (summarize with hooptop)")
+		case FlagProfile:
+			fs.StringVar(&c.CPUProfile, "cpuprofile", c.CPUProfile, "write a CPU profile of the run to this file")
+			fs.StringVar(&c.MemProfile, "memprofile", c.MemProfile, "write a heap profile taken at exit to this file")
+		default:
+			panic("clihelp: unknown flag block " + b)
+		}
+	}
+}
+
+// EffectiveWorkers resolves the worker count (<= 0 means GOMAXPROCS).
+func (c *Common) EffectiveWorkers() int {
+	if c.Workers > 0 {
+		return c.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// StartProfiles begins CPU profiling if -cpuprofile was given. The
+// returned stop function must run at process exit (defer it); it finishes
+// the CPU profile and writes the -memprofile heap snapshot.
+func (c *Common) StartProfiles() (stop func(), err error) {
+	var cpuFile *os.File
+	if c.CPUProfile != "" {
+		cpuFile, err = os.Create(c.CPUProfile)
+		if err != nil {
+			return nil, fmt.Errorf("-cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("-cpuprofile: %w", err)
+		}
+	}
+	return func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+		}
+		if c.MemProfile != "" {
+			f, err := os.Create(c.MemProfile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "-memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "-memprofile: %v\n", err)
+			}
+		}
+	}, nil
+}
+
+// TraceFile is an opened -trace destination: a JSONL sink over a file.
+type TraceFile struct {
+	Sink *telemetry.JSONLSink
+	f    *os.File
+}
+
+// OpenTrace opens the -trace path; (nil, nil) when the flag is unset. A
+// nil *TraceFile is valid for Attach and Close, so callers need no guard.
+func (c *Common) OpenTrace() (*TraceFile, error) {
+	if c.Trace == "" {
+		return nil, nil
+	}
+	f, err := os.Create(c.Trace)
+	if err != nil {
+		return nil, fmt.Errorf("-trace: %w", err)
+	}
+	return &TraceFile{Sink: telemetry.NewJSONLSink(f), f: f}, nil
+}
+
+// Attach subscribes the trace sink to sys with the default trace mask
+// (mechanism phases plus commits).
+func (t *TraceFile) Attach(sys *engine.System) {
+	if t == nil {
+		return
+	}
+	sys.Subscribe(t.Sink, telemetry.MaskTrace)
+}
+
+// Close flushes the sink and closes the file.
+func (t *TraceFile) Close() error {
+	if t == nil {
+		return nil
+	}
+	if err := t.Sink.Flush(); err != nil {
+		t.f.Close()
+		return err
+	}
+	return t.f.Close()
+}
+
+// FindWorkload resolves a workload name across the paper and large-item
+// suites.
+func FindWorkload(name string) (workload.Workload, bool) {
+	for _, w := range append(workload.PaperSuite(), workload.LargeItemSuite()...) {
+		if w.Name == name {
+			return w, true
+		}
+	}
+	return workload.Workload{}, false
+}
+
+// WorkloadNames lists every available workload name, for error messages.
+func WorkloadNames() []string {
+	var names []string
+	for _, w := range append(workload.PaperSuite(), workload.LargeItemSuite()...) {
+		names = append(names, w.Name)
+	}
+	return names
+}

@@ -20,6 +20,7 @@ import (
 	"hoop/internal/nvm"
 	"hoop/internal/persist"
 	"hoop/internal/sim"
+	"hoop/internal/telemetry"
 
 	// The built-in schemes register themselves with the persist registry
 	// from init(); the engine holds no per-scheme construction code. hoop
@@ -122,16 +123,6 @@ type writeRec struct {
 	data []byte
 }
 
-// Tracer observes every operation the engine executes; see
-// internal/trace for a binary recorder. Tracing is off unless SetTracer
-// is called.
-type Tracer interface {
-	TraceTxBegin(thread int)
-	TraceTxEnd(thread int)
-	TraceLoad(thread int, addr mem.PAddr, size int)
-	TraceStore(thread int, addr mem.PAddr, data []byte)
-}
-
 // System is one fully wired simulated machine.
 type System struct {
 	cfg    Config
@@ -145,7 +136,7 @@ type System struct {
 	hier   *cache.Hierarchy
 	scheme persist.Scheme
 	hook   persist.LoadHook
-	tracer Tracer
+	tel    *telemetry.Hub
 
 	clocks   []*sim.Clock
 	txID     []persist.TxID
@@ -189,6 +180,10 @@ func New(cfg Config) (*System, error) {
 	ctrl := memctrl.New(cfg.Ctrl, dev)
 	hier := cache.New(cfg.Cache, stats)
 	view := mem.NewStore()
+	tel := telemetry.NewHub()
+	dev.AttachTelemetry(tel)
+	ctrl.AttachTelemetry(tel)
+	hier.AttachTelemetry(tel)
 	ctx := persist.Context{
 		Cores:  cfg.Cores,
 		Layout: layout,
@@ -197,6 +192,7 @@ func New(cfg Config) (*System, error) {
 		Hier:   hier,
 		Stats:  stats,
 		View:   view,
+		Tel:    tel,
 	}
 	scheme, err := persist.Build(ctx, cfg.Scheme, cfg.schemeOpt())
 	if err != nil {
@@ -212,6 +208,7 @@ func New(cfg Config) (*System, error) {
 		ctrl:     ctrl,
 		hier:     hier,
 		scheme:   scheme,
+		tel:      tel,
 		clocks:   make([]*sim.Clock, cfg.Threads),
 		txID:     make([]persist.TxID, cfg.Threads),
 		txOpen:   make([]bool, cfg.Threads),
@@ -275,27 +272,14 @@ func (s *System) MaxClock() sim.Time {
 	return m
 }
 
-// TxCount reports committed transactions executed through the engine.
-func (s *System) TxCount() int64 { return s.txCount }
+// Telemetry exposes the system's event hub. Components inside the system
+// emit through it; consumers normally subscribe via Subscribe.
+func (s *System) Telemetry() *telemetry.Hub { return s.tel }
 
-// TxLatencySum reports the summed critical-path latency of all committed
-// transactions (Tx_begin to durable Tx_end, §IV-C).
-func (s *System) TxLatencySum() sim.Duration { return s.txLatSum }
-
-// TxLatencyHistogram exposes the distribution of per-transaction
-// critical-path latencies (log-bucketed; see sim.Histogram).
-func (s *System) TxLatencyHistogram() *sim.Histogram { return &s.txLatHist }
-
-// AvgTxLatency reports the mean critical-path latency.
-func (s *System) AvgTxLatency() sim.Duration {
-	if s.txCount == 0 {
-		return 0
-	}
-	return s.txLatSum / sim.Duration(s.txCount)
+// Subscribe attaches sink to the system's telemetry hub for the kinds in
+// mask. There is no unsubscribe: sinks live as long as the system, and
+// the run-shaped consumers (trace recorders, counting sinks) want exactly
+// that.
+func (s *System) Subscribe(sink telemetry.Sink, mask telemetry.Mask) {
+	s.tel.Subscribe(sink, mask)
 }
-
-// SetTracer installs (or, with nil, removes) an operation tracer.
-func (s *System) SetTracer(t Tracer) { s.tracer = t }
-
-// Ops reports load and store operation counts.
-func (s *System) Ops() (loads, stores int64) { return s.loadOps, s.storeOps }

@@ -2,6 +2,7 @@ package engine_test
 
 import (
 	"fmt"
+	"reflect"
 	"testing"
 
 	"hoop/internal/engine"
@@ -77,18 +78,18 @@ func TestAllSchemesRunAndStaySane(t *testing.T) {
 			}
 			runners := newMapRunners(t, sys, 64)
 			sys.Run(runners, 400)
-			if sys.TxCount() < 400 {
-				t.Fatalf("committed %d txs, want >= 400", sys.TxCount())
+			snap := sys.Snapshot()
+			if snap.Txs < 400 {
+				t.Fatalf("committed %d txs, want >= 400", snap.Txs)
 			}
 			if sys.MaxClock() <= 0 {
 				t.Fatal("simulated time did not advance")
 			}
-			if sys.AvgTxLatency() <= 0 {
+			if snap.AvgTxLatency() <= 0 {
 				t.Fatal("transaction latency not measured")
 			}
-			loads, stores := sys.Ops()
-			if loads == 0 || stores == 0 {
-				t.Fatalf("ops not counted: loads=%d stores=%d", loads, stores)
+			if snap.Loads == 0 || snap.Stores == 0 {
+				t.Fatalf("ops not counted: loads=%d stores=%d", snap.Loads, snap.Stores)
 			}
 			if scheme != engine.SchemeNative {
 				if sys.Stats().Get(sim.StatNVMBytesWritten) == 0 {
@@ -183,24 +184,22 @@ func TestHoopGCReducesData(t *testing.T) {
 }
 
 func TestDeterminism(t *testing.T) {
-	run := func() (int64, sim.Time, map[string]int64) {
+	run := func() (int64, sim.Time, []sim.CounterSample) {
 		sys, err := engine.New(testConfig(engine.SchemeHOOP))
 		if err != nil {
 			t.Fatal(err)
 		}
 		runners := newMapRunners(t, sys, 64)
 		sys.Run(runners, 500)
-		return sys.TxCount(), sys.MaxClock(), sys.Stats().Snapshot()
+		return sys.Snapshot().Txs, sys.MaxClock(), sys.Stats().Snapshot()
 	}
 	tx1, clk1, st1 := run()
 	tx2, clk2, st2 := run()
 	if tx1 != tx2 || clk1 != clk2 {
 		t.Fatalf("non-deterministic: tx %d vs %d, clock %v vs %v", tx1, tx2, clk1, clk2)
 	}
-	for k, v := range st1 {
-		if st2[k] != v {
-			t.Fatalf("counter %s differs: %d vs %d", k, v, st2[k])
-		}
+	if !reflect.DeepEqual(st1, st2) {
+		t.Fatalf("counter snapshots differ:\n%v\n%v", st1, st2)
 	}
 }
 

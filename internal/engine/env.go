@@ -6,6 +6,7 @@ import (
 
 	"hoop/internal/mem"
 	"hoop/internal/sim"
+	"hoop/internal/telemetry"
 )
 
 // Env is the memory interface handed to workload code. Every access is
@@ -38,9 +39,6 @@ func (e *Env) TxBegin() {
 	if s.txOpen[e.thread] {
 		panic("engine: nested transactions are not supported")
 	}
-	if s.tracer != nil {
-		s.tracer.TraceTxBegin(e.thread)
-	}
 	clk := s.clocks[e.thread]
 	// Background machinery (GC, checkpointing) catches up between
 	// transactions.
@@ -51,6 +49,14 @@ func (e *Env) TxBegin() {
 	s.txID[e.thread] = tx
 	s.txOpen[e.thread] = true
 	s.txBegan[e.thread] = clk.Now()
+	if s.tel.Enabled(telemetry.KindTxBegin) {
+		s.tel.Emit(telemetry.Event{
+			Kind: telemetry.KindTxBegin,
+			Time: clk.Now(),
+			Core: int16(e.thread),
+			Tx:   uint64(tx),
+		})
+	}
 }
 
 // TxEnd commits the transaction; on return the updates are durable under
@@ -59,9 +65,6 @@ func (e *Env) TxEnd() {
 	s := e.sys
 	if !s.txOpen[e.thread] {
 		panic("engine: TxEnd without TxBegin")
-	}
-	if s.tracer != nil {
-		s.tracer.TraceTxEnd(e.thread)
 	}
 	clk := s.clocks[e.thread]
 	clk.AdvanceCycles(2) // clear transaction state bit / commit barrier
@@ -72,6 +75,15 @@ func (e *Env) TxEnd() {
 	s.txLatSum += lat
 	s.txLatHist.Observe(lat)
 	s.txCount++
+	if s.tel.Enabled(telemetry.KindTxCommit) {
+		s.tel.Emit(telemetry.Event{
+			Kind: telemetry.KindTxCommit,
+			Time: clk.Now(),
+			Core: int16(e.thread),
+			Tx:   uint64(s.txID[e.thread]),
+			Aux:  int64(lat),
+		})
+	}
 	if s.oracle != nil {
 		for _, w := range s.txWrites[e.thread] {
 			s.oracle.Write(w.addr, w.data)
@@ -88,9 +100,6 @@ func (e *Env) InTx() bool { return e.sys.txOpen[e.thread] }
 func (e *Env) Read(addr mem.PAddr, buf []byte) {
 	checkAligned(addr, len(buf))
 	s := e.sys
-	if s.tracer != nil {
-		s.tracer.TraceLoad(e.thread, addr, len(buf))
-	}
 	clk := s.clocks[e.thread]
 	clk.Advance(s.cfg.OpCost)
 	e.access(addr, len(buf), false)
@@ -100,6 +109,16 @@ func (e *Env) Read(addr mem.PAddr, buf []byte) {
 	s.loadOps++
 	s.statTxLoads.Inc()
 	s.view.Read(addr, buf)
+	if s.tel.Enabled(telemetry.KindLoad) {
+		s.tel.Emit(telemetry.Event{
+			Kind:  telemetry.KindLoad,
+			Time:  clk.Now(),
+			Core:  int16(e.thread),
+			Tx:    uint64(s.txID[e.thread]),
+			Addr:  addr,
+			Bytes: int64(len(buf)),
+		})
+	}
 }
 
 // ReadWord loads the 8-byte word at addr.
@@ -117,9 +136,6 @@ func (e *Env) Write(addr mem.PAddr, data []byte) {
 	if !s.txOpen[e.thread] {
 		panic("engine: store outside a transaction (wrap updates in TxBegin/TxEnd)")
 	}
-	if s.tracer != nil {
-		s.tracer.TraceStore(e.thread, addr, data)
-	}
 	clk := s.clocks[e.thread]
 	clk.Advance(s.cfg.OpCost)
 	e.access(addr, len(data), true)
@@ -133,6 +149,17 @@ func (e *Env) Write(addr mem.PAddr, data []byte) {
 	s.view.Write(addr, data)
 	s.storeOps++
 	s.statTxStores.Inc()
+	if s.tel.Enabled(telemetry.KindStore) {
+		s.tel.Emit(telemetry.Event{
+			Kind:  telemetry.KindStore,
+			Time:  clk.Now(),
+			Core:  int16(e.thread),
+			Tx:    uint64(s.txID[e.thread]),
+			Addr:  addr,
+			Bytes: int64(len(data)),
+			Data:  data,
+		})
+	}
 }
 
 // WriteWord stores the 8-byte word v at addr.

@@ -5,6 +5,7 @@ import (
 
 	"hoop/internal/mem"
 	"hoop/internal/sim"
+	"hoop/internal/telemetry"
 )
 
 // TxRunner is one workload thread: each RunTx call executes exactly one
@@ -78,6 +79,18 @@ func (s *System) DrainCache() {
 // buffers, mapping tables, the logical view — vanishes; only NVM contents
 // survive. Open transactions are implicitly aborted.
 func (s *System) Crash() {
+	if s.tel.Enabled(telemetry.KindTxAbort) {
+		for t, open := range s.txOpen {
+			if open {
+				s.tel.Emit(telemetry.Event{
+					Kind: telemetry.KindTxAbort,
+					Time: s.clocks[t].Now(),
+					Core: int16(t),
+					Tx:   uint64(s.txID[t]),
+				})
+			}
+		}
+	}
 	s.scheme.Crash()
 	s.hier.DropAll()
 	// The logical view is volatile: it becomes meaningless at the instant

@@ -55,6 +55,7 @@ func Ablation(opts Options) (*Grid, error) {
 			})
 		}
 	}
+	opts.attachTrace("ablation", cells)
 	mets, _, err := RunCells(cells, opts.workers())
 	if err != nil {
 		return nil, err

@@ -9,6 +9,7 @@ import (
 
 	"hoop/internal/engine"
 	"hoop/internal/persist"
+	"hoop/internal/telemetry"
 	"hoop/internal/workload"
 )
 
@@ -25,6 +26,12 @@ type Cell struct {
 	// Mut, when non-nil, adjusts the paper-default configuration before
 	// the system is built (GC period sweeps, NVM latency sweeps, ...).
 	Mut func(*engine.Config)
+	// Sink, when non-nil, is subscribed to the cell's telemetry hub with
+	// SinkMask at the start of the measurement window. Each cell owns its
+	// sink exclusively (one worker runs one cell), so sinks need no
+	// locking even under parallel RunCells.
+	Sink     telemetry.Sink
+	SinkMask telemetry.Mask
 }
 
 // CellStats summarizes one worker-pool run over a batch of cells.
@@ -89,7 +96,7 @@ func RunCells(cells []Cell, workers int) ([]Metrics, CellStats, error) {
 				}
 				c := cells[i]
 				cellStart := time.Now()
-				results[i], errs[i] = runCell(c.Scheme, c.Workload, c.Txs, c.Seed, c.Mut)
+				results[i], errs[i] = runCell(c)
 				walls[i] = time.Since(cellStart)
 			}
 		}()
@@ -118,15 +125,20 @@ func buildSystem(scheme string, mut func(*engine.Config)) (*engine.System, error
 	return engine.New(cfg)
 }
 
-// runCell executes txs transactions of w on a fresh system and returns the
-// measurement window.
-func runCell(schemeName string, w workload.Workload, txs int, seed uint64, mut func(*engine.Config)) (Metrics, error) {
-	sys, err := buildSystem(schemeName, mut)
+// phaseMask is what the per-cell counting sink subscribes to: the low-rate
+// mechanism kinds plus commits. Per-op kinds stay off so the hot path keeps
+// its single-branch guard.
+var phaseMask = telemetry.MaskPhases | telemetry.MaskOf(telemetry.KindTxCommit)
+
+// runCell executes the cell's transactions on a fresh system and returns
+// the measurement window.
+func runCell(c Cell) (Metrics, error) {
+	sys, err := buildSystem(c.Scheme, c.Mut)
 	if err != nil {
 		return Metrics{}, err
 	}
-	runners := w.Runners(sys, seed)
-	return measureWindow(sys, runners, txs), nil
+	runners := c.Workload.Runners(sys, c.Seed)
+	return measureWindow(sys, runners, c.Txs, c.Sink, c.SinkMask), nil
 }
 
 // quiesceTicks bounds the Tick catch-up loop that lets epoch-driven
@@ -152,12 +164,21 @@ func quiesce(sys *engine.System) {
 // quiesce burst backlog the window's first accesses), all threads enter at
 // the same simulated instant, and the window is closed by charging every
 // scheme for its still-cached dirty data and deferred migration traffic.
-func measureWindow(sys *engine.System, runners []engine.TxRunner, txs int) Metrics {
+// Telemetry subscriptions happen after setup quiesces, so the phase
+// breakdown and any trace cover exactly the measured window.
+func measureWindow(sys *engine.System, runners []engine.TxRunner, txs int, sink telemetry.Sink, mask telemetry.Mask) Metrics {
 	quiesce(sys)
 	sys.ResetMemoryQueues()
 	sys.SyncClocks()
+	counts := &telemetry.CountingSink{}
+	sys.Subscribe(counts, phaseMask)
+	if sink != nil {
+		sys.Subscribe(sink, mask)
+	}
 	before := takeSnapshot(sys)
 	sys.Run(runners, txs)
 	quiesce(sys)
-	return window(before, takeSnapshot(sys))
+	m := window(before, takeSnapshot(sys))
+	m.Phases = counts.Counts()
+	return m
 }

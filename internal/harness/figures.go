@@ -50,6 +50,7 @@ func Figure10(opts Options) (*Grid, error) {
 			})
 		}
 	}
+	opts.attachTrace("fig10", cells)
 	mets, _, err := RunCells(cells, opts.workers())
 	if err != nil {
 		return nil, err
@@ -160,6 +161,7 @@ func Figure12(opts Options) (*Grid, error) {
 			},
 		})
 	}
+	opts.attachTrace("fig12", cells)
 	mets, _, err := RunCells(cells, opts.workers())
 	if err != nil {
 		return nil, err
@@ -209,6 +211,7 @@ func Figure13(opts Options) (*Grid, error) {
 			Mut: func(c *engine.Config) { c.Hoop.MapTableBytes = size },
 		})
 	}
+	opts.attachTrace("fig13", cells)
 	mets, _, err := RunCells(cells, opts.workers())
 	if err != nil {
 		return nil, err

@@ -34,6 +34,7 @@ func RunMatrixOn(opts Options, workloads []workload.Workload, schemes []string) 
 			cells = append(cells, Cell{Scheme: s, Workload: w, Txs: opts.txPerCell(), Seed: opts.Seed + 1})
 		}
 	}
+	opts.attachTrace("matrix", cells)
 	mets, stats, err := RunCells(cells, opts.workers())
 	if err != nil {
 		return nil, err

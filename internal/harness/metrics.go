@@ -14,6 +14,7 @@ import (
 
 	"hoop/internal/engine"
 	"hoop/internal/sim"
+	"hoop/internal/telemetry"
 )
 
 // Options scales the experiments.
@@ -33,6 +34,9 @@ type Options struct {
 	// zero or negative means runtime.GOMAXPROCS. Results are bit-identical
 	// for every worker count.
 	Workers int
+	// Trace, when non-nil, collects a JSONL telemetry trace from every
+	// cell (hoopbench -trace). Output is identical for every worker count.
+	Trace *TraceCollector
 }
 
 // workers resolves the effective worker count (<=0 → GOMAXPROCS).
@@ -62,6 +66,10 @@ type Metrics struct {
 	Loads        int64
 	Stores       int64
 	Counters     map[string]int64
+	// Phases is the telemetry phase breakdown of the window: per-kind
+	// event counts and byte totals for the low-rate mechanism kinds
+	// (drains, slice writes, GC epochs, log writes, ...) plus commits.
+	Phases []telemetry.KindCount
 }
 
 // Throughput reports transactions per simulated second.
@@ -96,47 +104,22 @@ func (m Metrics) EnergyPerTx() float64 {
 	return m.EnergyPJ / float64(m.Txs)
 }
 
-// snapshot captures a system's accumulated accounting.
-type snapshot struct {
-	counters map[string]int64
-	readPJ   float64
-	writePJ  float64
-	latSum   sim.Duration
-	txs      int64
-	span     sim.Time
-	loads    int64
-	stores   int64
-}
-
-func takeSnapshot(sys *engine.System) snapshot {
-	loads, stores := sys.Ops()
-	return snapshot{
-		counters: sys.Stats().Snapshot(),
-		readPJ:   sys.Device().ReadEnergyPJ(),
-		writePJ:  sys.Device().WriteEnergyPJ(),
-		latSum:   sys.TxLatencySum(),
-		txs:      sys.TxCount(),
-		span:     sys.MaxClock(),
-		loads:    loads,
-		stores:   stores,
-	}
-}
+// takeSnapshot captures a system's accumulated accounting.
+func takeSnapshot(sys *engine.System) engine.RunSnapshot { return sys.Snapshot() }
 
 // window computes the metrics between two snapshots.
-func window(before, after snapshot) Metrics {
-	counters := make(map[string]int64, len(after.counters))
-	for k, v := range after.counters {
-		counters[k] = v - before.counters[k]
-	}
+func window(before, after engine.RunSnapshot) Metrics {
+	d := after.Delta(before)
+	counters := d.CounterMap()
 	return Metrics{
-		Txs:          after.txs - before.txs,
-		Span:         after.span - before.span,
-		LatencySum:   after.latSum - before.latSum,
+		Txs:          d.Txs,
+		Span:         sim.Duration(d.Span),
+		LatencySum:   d.TxLatencySum,
 		BytesWritten: counters[sim.StatNVMBytesWritten],
 		BytesRead:    counters[sim.StatNVMBytesRead],
-		EnergyPJ:     (after.readPJ + after.writePJ) - (before.readPJ + before.writePJ),
-		Loads:        after.loads - before.loads,
-		Stores:       after.stores - before.stores,
+		EnergyPJ:     d.TotalEnergyPJ(),
+		Loads:        d.Loads,
+		Stores:       d.Stores,
 		Counters:     counters,
 	}
 }

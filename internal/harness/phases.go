@@ -1,0 +1,47 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+
+	"hoop/internal/telemetry"
+)
+
+// FormatPhaseBreakdown renders the per-scheme telemetry phase mix of a
+// matrix: for every scheme, each phase-kind's event rate per 1000
+// committed transactions, aggregated over all workloads. The counts come
+// from the counting sink every cell carries, so the breakdown costs no
+// extra simulation. Native reports no mechanism events — it has no
+// persistence machinery to account for.
+func FormatPhaseBreakdown(m *Matrix) string {
+	var b strings.Builder
+	fmt.Fprintln(&b, "Telemetry phase breakdown (events per 1000 txs, all workloads):")
+	for _, s := range m.Schemes {
+		var txs int64
+		agg := map[telemetry.Kind]int64{}
+		for _, w := range m.Workloads {
+			c := m.Cells[w][s]
+			txs += c.Txs
+			for _, kc := range c.Phases {
+				agg[kc.Kind] += kc.N
+			}
+		}
+		if txs == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "  %-10s", s)
+		any := false
+		for k := telemetry.Kind(1); int(k) < telemetry.NumKinds; k++ {
+			if k == telemetry.KindTxCommit || agg[k] == 0 {
+				continue
+			}
+			fmt.Fprintf(&b, " %s=%.1f", k, float64(agg[k])*1000/float64(txs))
+			any = true
+		}
+		if !any {
+			b.WriteString(" (no mechanism events)")
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -109,6 +109,7 @@ func RunSections(w io.Writer, opts Options, sections []string) (*Report, error) 
 		fmt.Fprintf(w, "Read-path profile (§IV-C): %.2f loads/LLC-miss, %.1f%% parallel reads, %.1f%% LLC miss ratio, %.1f%% eviction-buffer hits\n",
 			rep.Profile.LoadsPerLLCMiss, rep.Profile.ParallelReadFrac*100,
 			rep.Profile.LLCMissRatio*100, rep.Profile.EvictBufHitFrac*100)
+		fmt.Fprint(w, FormatPhaseBreakdown(m))
 		fmt.Fprintf(w, "Matrix pool: %s\n", m.Stats)
 		done()
 	}

@@ -149,6 +149,7 @@ func TableIV(opts Options) (*Grid, error) {
 			})
 		}
 	}
+	opts.attachTrace("tableIV", cells)
 	mets, _, err := RunCells(cells, opts.workers())
 	if err != nil {
 		return nil, err

@@ -1,0 +1,99 @@
+package harness
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"hoop/internal/engine"
+	"hoop/internal/telemetry"
+	"hoop/internal/workload"
+)
+
+// runTracedMatrix runs a small seeded Figure-7a matrix with a trace
+// collector attached and returns the combined JSONL output.
+func runTracedMatrix(t *testing.T, workers int, mask telemetry.Mask, schemes []string) []byte {
+	t.Helper()
+	tc := &TraceCollector{Mask: mask}
+	_, err := RunMatrixOn(Options{Quick: true, Seed: 1, Workers: workers, Trace: tc},
+		[]workload.Workload{workload.HashMapWL(64)}, schemes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := tc.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestTraceIdenticalAcrossWorkerCounts locks the TraceCollector's core
+// guarantee: the combined JSONL trace is byte-identical for every RunCells
+// worker count, because each cell's stream depends only on its seed and
+// cells are concatenated in construction order. Runs under -race in CI.
+func TestTraceIdenticalAcrossWorkerCounts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs several quick cells")
+	}
+	schemes := []string{engine.SchemeHOOP, engine.SchemeUndo}
+	serial := runTracedMatrix(t, 1, telemetry.MaskTrace, schemes)
+	parallel := runTracedMatrix(t, 4, telemetry.MaskTrace, schemes)
+	if len(serial) == 0 {
+		t.Fatal("trace is empty")
+	}
+	if !bytes.Equal(serial, parallel) {
+		t.Fatalf("trace differs between 1 and 4 workers: %d vs %d bytes",
+			len(serial), len(parallel))
+	}
+	// Every non-marker line must decode as an event.
+	events := 0
+	for _, line := range bytes.Split(serial, []byte("\n")) {
+		if len(line) == 0 || bytes.HasPrefix(line, []byte(`{"cell":`)) {
+			continue
+		}
+		if _, err := telemetry.DecodeJSON(line); err != nil {
+			t.Fatalf("bad trace line %q: %v", line, err)
+		}
+		events++
+	}
+	if events == 0 {
+		t.Fatal("trace holds no events")
+	}
+}
+
+// TestGoldenFig7aTrace locks a seeded quick-mode Figure-7a HOOP cell's
+// mechanism-event trace (GC epochs, mapping-table evictions, recovery) to
+// a checked-in golden JSONL file. Any change to when the simulated
+// machine garbage-collects or evicts — intended or not — shows up as a
+// diff here. Regenerate deliberately with:
+//
+//	go test ./internal/harness -run TestGoldenFig7aTrace -update
+func TestGoldenFig7aTrace(t *testing.T) {
+	if testing.Short() {
+		t.Skip("matrix run is seconds-long")
+	}
+	mask := telemetry.MaskOf(telemetry.KindGCStart, telemetry.KindGCEnd,
+		telemetry.KindMapEvict, telemetry.KindRecovery)
+	got := runTracedMatrix(t, 2, mask, []string{engine.SchemeHOOP})
+
+	path := filepath.Join("testdata", "fig7a_hoop_trace.golden.jsonl")
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d bytes)", path, len(got))
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden (regenerate with -update): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("telemetry trace diverged from golden %s (%d vs %d bytes).\nIf a simulation-model change is intentional, regenerate with -update.",
+			path, len(got), len(want))
+	}
+}

@@ -5,6 +5,7 @@ import (
 
 	"hoop/internal/mem"
 	"hoop/internal/sim"
+	"hoop/internal/telemetry"
 )
 
 // runGC executes one garbage-collection pass (Algorithm 1): scan the
@@ -31,6 +32,22 @@ func (s *Scheme) runGC(start sim.Time, onDemand bool) sim.Time {
 	if onDemand {
 		s.statGCOnDemand.Inc()
 	}
+	tel := s.ctx.Tel
+	if tel.Enabled(telemetry.KindGCStart) {
+		var flags uint8
+		if onDemand {
+			flags = telemetry.FlagOnDemand
+		}
+		tel.Emit(telemetry.Event{
+			Kind:  telemetry.KindGCStart,
+			Time:  arr,
+			Core:  -1,
+			Aux:   int64(len(s.pending)),
+			Flags: flags,
+		})
+	}
+	scannedBefore := s.statGCScanned.Value()
+	migratedBefore := s.statGCMigrated.Value()
 
 	newWM := s.watermark
 	if len(s.pending) > 0 {
@@ -148,6 +165,14 @@ func (s *Scheme) runGC(start sim.Time, onDemand bool) sim.Time {
 	for _, line := range stale {
 		if e, ok := s.table.remove(line); ok {
 			s.blocks[e.block].mapRefs--
+			if tel.Enabled(telemetry.KindMapEvict) {
+				tel.Emit(telemetry.Event{
+					Kind: telemetry.KindMapEvict,
+					Time: t,
+					Core: -1,
+					Addr: mem.PAddr(line << mem.LineShift),
+				})
+			}
 		}
 	}
 
@@ -164,6 +189,15 @@ func (s *Scheme) runGC(start sim.Time, onDemand bool) sim.Time {
 		}
 	}
 
+	if tel.Enabled(telemetry.KindGCEnd) {
+		tel.Emit(telemetry.Event{
+			Kind:  telemetry.KindGCEnd,
+			Time:  t,
+			Core:  -1,
+			Bytes: s.statGCMigrated.Value() - migratedBefore,
+			Aux:   s.statGCScanned.Value() - scannedBefore,
+		})
+	}
 	s.gcBusyUntil = t
 	return t
 }

@@ -8,6 +8,7 @@ import (
 	"hoop/internal/mem"
 	"hoop/internal/persist"
 	"hoop/internal/sim"
+	"hoop/internal/telemetry"
 )
 
 // Recovery throughput tunables. A recovery thread is software: it reads
@@ -111,6 +112,7 @@ func (s *Scheme) recoverInternal(threads int) (sim.Duration, RecoveryReport, err
 		}
 		return recs[i].last < recs[j].last
 	})
+	s.emitRecoveryPhase(telemetry.RecoveryPhaseLogScan, int64(logCapacity)*commitRecSize)
 
 	// Phase 2: distribute transactions round-robin to recovery threads;
 	// each walks its chains in reverse order, keeping the newest value
@@ -158,6 +160,11 @@ func (s *Scheme) recoverInternal(threads int) (sim.Duration, RecoveryReport, err
 	if scanErr != nil {
 		return 0, RecoveryReport{}, scanErr
 	}
+	totalSlices := 0
+	for _, c := range sliceCounts {
+		totalSlices += c
+	}
+	s.emitRecoveryPhase(telemetry.RecoveryPhaseChainScan, int64(totalSlices)*SliceSize)
 
 	// Phase 3: master merge, newest commit sequence wins.
 	global := make(map[mem.PAddr]wordVer)
@@ -168,6 +175,7 @@ func (s *Scheme) recoverInternal(threads int) (sim.Duration, RecoveryReport, err
 			}
 		}
 	}
+	s.emitRecoveryPhase(telemetry.RecoveryPhaseMerge, int64(len(global))*mem.WordSize)
 
 	// Phase 4: write the recovered words to their home addresses. (The
 	// modeled time treats this as parallel across threads; the functional
@@ -181,14 +189,11 @@ func (s *Scheme) recoverInternal(threads int) (sim.Duration, RecoveryReport, err
 		v := global[w]
 		store.Write(w, v.val[:])
 	}
+	s.emitRecoveryPhase(telemetry.RecoveryPhaseWriteBack, int64(len(words))*mem.WordSize)
 
 	// Phase 5: clear the OOP region — advance the watermark past every
 	// replayed commit and recycle all blocks.
 	s.writeWatermark(maxSeq)
-	totalSlices := 0
-	for _, c := range sliceCounts {
-		totalSlices += c
-	}
 	headersReset := 0
 	var hdr [mem.LineSize]byte
 	for i := range s.blocks {
@@ -248,9 +253,25 @@ func (s *Scheme) recoverInternal(threads int) (sim.Duration, RecoveryReport, err
 		Threads:        threads,
 		ModeledTime:    modeled,
 	}
+	s.emitRecoveryPhase(telemetry.RecoveryPhaseClear, int64(headersReset)*mem.LineSize)
 	s.ctx.Stats.Add("recovery.txs", int64(len(recs)))
 	s.ctx.Stats.Add("recovery.words", int64(len(words)))
 	return modeled, rep, nil
+}
+
+// emitRecoveryPhase publishes one recovery-phase event. It is only ever
+// called from the recovery master thread — the parallel chain-scan workers
+// report through it after the join — so emission never races.
+func (s *Scheme) emitRecoveryPhase(phase int, bytes int64) {
+	if !s.ctx.Tel.Enabled(telemetry.KindRecovery) {
+		return
+	}
+	s.ctx.Tel.Emit(telemetry.Event{
+		Kind:  telemetry.KindRecovery,
+		Core:  -1,
+		Aux:   int64(phase),
+		Bytes: bytes,
+	})
 }
 
 func bytesOver(n, bw int64) sim.Duration {

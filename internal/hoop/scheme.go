@@ -7,6 +7,7 @@ import (
 	"hoop/internal/mem"
 	"hoop/internal/persist"
 	"hoop/internal/sim"
+	"hoop/internal/telemetry"
 )
 
 func popcount8(m uint8) int { return bits.OnesCount8(m) }
@@ -310,6 +311,17 @@ func (s *Scheme) flushSlice(core, m int, now sim.Time) sim.Time {
 	s.ctx.Dev.Store().Write(addr, enc[:])
 	s.ctx.Ctrl.PostWrite(core, addr, SliceSize, now)
 	s.statSliceFlushes.Inc()
+	if s.ctx.Tel.Enabled(telemetry.KindSliceWrite) {
+		s.ctx.Tel.Emit(telemetry.Event{
+			Kind:  telemetry.KindSliceWrite,
+			Time:  now,
+			Core:  int16(core),
+			Tx:    uint64(ds.TxID),
+			Addr:  addr,
+			Bytes: SliceSize,
+			Aux:   int64(ds.Count),
+		})
+	}
 	for i := 0; i < ds.Count; i++ {
 		s.lineSlice[mem.LineIndex(ds.Addrs[i])] = addr
 	}

@@ -10,6 +10,7 @@ import (
 	"hoop/internal/mem"
 	"hoop/internal/nvm"
 	"hoop/internal/sim"
+	"hoop/internal/telemetry"
 )
 
 // Config tunes the controller model.
@@ -41,6 +42,7 @@ type Controller struct {
 	cfg     Config
 	dev     *nvm.Device
 	pending []sim.Time // per-agent completion time of the latest posted write
+	tel     *telemetry.Hub
 }
 
 // New builds a controller over dev.
@@ -50,6 +52,12 @@ func New(cfg Config, dev *nvm.Device) *Controller {
 	}
 	return &Controller{cfg: cfg, dev: dev, pending: make([]sim.Time, cfg.Agents)}
 }
+
+// AttachTelemetry connects the controller to a telemetry hub. Drain emits
+// a KindPersistDrain event whenever an agent actually stalls on posted
+// writes — the persist-ordering stalls the paper's critical-path analysis
+// is about. Zero-wait drains stay silent.
+func (c *Controller) AttachTelemetry(h *telemetry.Hub) { c.tel = h }
 
 // Device exposes the underlying NVM device.
 func (c *Controller) Device() *nvm.Device { return c.dev }
@@ -82,7 +90,16 @@ func (c *Controller) PostWrite(agent int, a mem.PAddr, size int, now sim.Time) s
 // Drain blocks agent until all of its posted writes have completed,
 // returning the time at which the drain finishes.
 func (c *Controller) Drain(agent int, now sim.Time) sim.Time {
-	return sim.MaxTime(now, c.pending[agent])
+	done := sim.MaxTime(now, c.pending[agent])
+	if done > now && c.tel.Enabled(telemetry.KindPersistDrain) {
+		c.tel.Emit(telemetry.Event{
+			Kind: telemetry.KindPersistDrain,
+			Time: done,
+			Core: int16(agent),
+			Aux:  int64(done - now),
+		})
+	}
+	return done
 }
 
 // Pending reports the completion time of agent's latest posted write.

@@ -16,6 +16,7 @@ import (
 
 	"hoop/internal/mem"
 	"hoop/internal/sim"
+	"hoop/internal/telemetry"
 )
 
 // Params configures the device.
@@ -118,6 +119,7 @@ type Device struct {
 	wear map[uint64]int64
 
 	journal *Journal
+	tel     *telemetry.Hub
 }
 
 // NewDevice builds a device with the given parameters, contents store, and
@@ -140,6 +142,12 @@ func NewDevice(p Params, store *mem.Store, stats *sim.Stats) *Device {
 		wear:         make(map[uint64]int64),
 	}
 }
+
+// AttachTelemetry connects the device to a telemetry hub; per-access
+// KindNVMRead/KindNVMWrite events fire while a sink subscribes to them.
+// These are the highest-rate kinds in the taxonomy, so the default trace
+// masks leave them off and the cost stays at one Enabled check per access.
+func (d *Device) AttachTelemetry(h *telemetry.Hub) { d.tel = h }
 
 // Params reports the device configuration.
 func (d *Device) Params() Params { return d.params }
@@ -203,6 +211,15 @@ func (d *Device) Read(a mem.PAddr, size int, now sim.Time) sim.Time {
 	d.bytesRead.Add(int64(size))
 	bits := float64(size) * 8
 	d.readEnergyPJ += bits * (d.params.Energy.RowBufferRead + d.params.Energy.ArrayRead)
+	if d.tel.Enabled(telemetry.KindNVMRead) {
+		d.tel.Emit(telemetry.Event{
+			Kind:  telemetry.KindNVMRead,
+			Time:  done,
+			Core:  -1,
+			Addr:  a,
+			Bytes: int64(size),
+		})
+	}
 	return done
 }
 
@@ -228,6 +245,15 @@ func (d *Device) Write(a mem.PAddr, size int, now sim.Time) sim.Time {
 	bits := float64(size) * 8
 	d.writeEnergyPJ += bits * (d.params.Energy.RowBufferWrite + d.params.Energy.ArrayWrite)
 	d.wear[uint64(a)>>wearBucketShift] += int64(size)
+	if d.tel.Enabled(telemetry.KindNVMWrite) {
+		d.tel.Emit(telemetry.Event{
+			Kind:  telemetry.KindNVMWrite,
+			Time:  done,
+			Core:  -1,
+			Addr:  a,
+			Bytes: int64(size),
+		})
+	}
 	return done
 }
 

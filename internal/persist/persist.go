@@ -19,6 +19,7 @@ import (
 	"hoop/internal/memctrl"
 	"hoop/internal/nvm"
 	"hoop/internal/sim"
+	"hoop/internal/telemetry"
 )
 
 // TxID identifies a transaction. IDs are assigned by the memory controller
@@ -42,6 +43,10 @@ type Context struct {
 	// while out-of-place schemes take the new value from the Store
 	// argument. View is lost on Crash.
 	View *mem.Store
+	// Tel is the system's telemetry hub. Schemes emit structured events
+	// (GC epochs, persist drains, slice writes...) through it, guarding
+	// hot-path emission with Tel.Enabled. A nil hub is valid and disabled.
+	Tel *telemetry.Hub
 }
 
 // Scheme is one crash-consistency technique.

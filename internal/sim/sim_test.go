@@ -161,8 +161,11 @@ func TestStats(t *testing.T) {
 		t.Fatalf("Names = %v", names)
 	}
 	snap := s.Snapshot()
+	if len(snap) != 2 || snap[0] != (CounterSample{Name: "a", Value: 5}) || snap[1] != (CounterSample{Name: "b", Value: 10}) {
+		t.Fatalf("Snapshot = %v", snap)
+	}
 	s.Reset()
-	if s.Get("a") != 0 || snap["a"] != 5 {
+	if s.Get("a") != 0 || snap[0].Value != 5 {
 		t.Fatal("Reset must not affect snapshots")
 	}
 	if s.String() == "" {

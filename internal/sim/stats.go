@@ -65,6 +65,10 @@ func (s *Stats) Inc(name string) { s.Counter(name).v++ }
 func (s *Stats) Set(name string, v int64) { s.Counter(name).v = v }
 
 // Get reports counter name (zero if never touched).
+//
+// Deprecated for hot paths: Get pays a map hash per call. Code that reads
+// a counter repeatedly should intern a handle with Counter and call
+// Value; code that consumes the whole registry should use Snapshot.
 func (s *Stats) Get(name string) int64 {
 	if c, ok := s.counters[name]; ok {
 		return c.v
@@ -79,11 +83,21 @@ func (s *Stats) Names() []string {
 	return out
 }
 
-// Snapshot returns a copy of all counters.
-func (s *Stats) Snapshot() map[string]int64 {
-	out := make(map[string]int64, len(s.counters))
-	for k, c := range s.counters {
-		out[k] = c.v
+// CounterSample is one counter's value at snapshot time. Samples are
+// plain data — ordered, comparable, and JSON-marshalable — so reports and
+// CLIs can consume counters without string formatting or map iteration.
+type CounterSample struct {
+	Name  string `json:"name"`
+	Value int64  `json:"value"`
+}
+
+// Snapshot returns every counter's current value in first-use
+// registration order. Registration order is deterministic for a given
+// system construction, so two identical runs snapshot identical slices.
+func (s *Stats) Snapshot() []CounterSample {
+	out := make([]CounterSample, len(s.order))
+	for i, name := range s.order {
+		out[i] = CounterSample{Name: name, Value: s.counters[name].v}
 	}
 	return out
 }

@@ -22,8 +22,8 @@ func TestStatsHandleNameEquivalence(t *testing.T) {
 	if c.Value() != 3 {
 		t.Fatalf("handle sees %d after Set, want 3", c.Value())
 	}
-	if s.Snapshot()["x"] != 3 {
-		t.Fatalf("Snapshot = %v", s.Snapshot())
+	if snap := s.Snapshot(); len(snap) != 1 || snap[0] != (CounterSample{Name: "x", Value: 3}) {
+		t.Fatalf("Snapshot = %v", snap)
 	}
 }
 

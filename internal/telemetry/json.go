@@ -1,0 +1,145 @@
+// JSONL encoding of events. The encoder is hand-rolled rather than
+// reflective so the field order and formatting are deterministic: golden
+// trace tests and the cross-worker-count determinism test compare traces
+// byte for byte.
+package telemetry
+
+import (
+	"bufio"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+
+	"hoop/internal/mem"
+	"hoop/internal/sim"
+)
+
+// AppendJSON appends the one-line JSON encoding of e (without trailing
+// newline) to dst and returns the extended slice. Zero-valued fields are
+// omitted; field order is fixed: k, t, core, tx, addr, bytes, aux, flags,
+// data.
+func AppendJSON(dst []byte, e Event) []byte {
+	dst = append(dst, `{"k":"`...)
+	dst = append(dst, e.Kind.String()...)
+	dst = append(dst, '"')
+	if e.Time != 0 {
+		dst = append(dst, `,"t":`...)
+		dst = strconv.AppendInt(dst, int64(e.Time), 10)
+	}
+	if e.Core >= 0 {
+		dst = append(dst, `,"core":`...)
+		dst = strconv.AppendInt(dst, int64(e.Core), 10)
+	}
+	if e.Tx != 0 {
+		dst = append(dst, `,"tx":`...)
+		dst = strconv.AppendUint(dst, e.Tx, 10)
+	}
+	if e.Addr != 0 {
+		dst = append(dst, `,"addr":`...)
+		dst = strconv.AppendUint(dst, uint64(e.Addr), 10)
+	}
+	if e.Bytes != 0 {
+		dst = append(dst, `,"bytes":`...)
+		dst = strconv.AppendInt(dst, e.Bytes, 10)
+	}
+	if e.Aux != 0 {
+		dst = append(dst, `,"aux":`...)
+		dst = strconv.AppendInt(dst, e.Aux, 10)
+	}
+	if e.Flags != 0 {
+		dst = append(dst, `,"flags":`...)
+		dst = strconv.AppendUint(dst, uint64(e.Flags), 10)
+	}
+	if len(e.Data) > 0 {
+		dst = append(dst, `,"data":"`...)
+		dst = hex.AppendEncode(dst, e.Data)
+		dst = append(dst, '"')
+	}
+	dst = append(dst, '}')
+	return dst
+}
+
+// jsonEvent mirrors the wire format for decoding. Core is a pointer to
+// distinguish "core 0" from "not thread-scoped".
+type jsonEvent struct {
+	K     string `json:"k"`
+	T     int64  `json:"t"`
+	Core  *int16 `json:"core"`
+	Tx    uint64 `json:"tx"`
+	Addr  uint64 `json:"addr"`
+	Bytes int64  `json:"bytes"`
+	Aux   int64  `json:"aux"`
+	Flags uint8  `json:"flags"`
+	Data  string `json:"data"`
+}
+
+// DecodeJSON parses one JSONL line produced by AppendJSON.
+func DecodeJSON(line []byte) (Event, error) {
+	var je jsonEvent
+	if err := json.Unmarshal(line, &je); err != nil {
+		return Event{}, err
+	}
+	k, ok := KindByName(je.K)
+	if !ok {
+		return Event{}, fmt.Errorf("telemetry: unknown event kind %q", je.K)
+	}
+	e := Event{
+		Time:  sim.Time(je.T),
+		Addr:  mem.PAddr(je.Addr),
+		Tx:    je.Tx,
+		Bytes: je.Bytes,
+		Aux:   je.Aux,
+		Core:  -1,
+		Flags: je.Flags,
+		Kind:  k,
+	}
+	if je.Core != nil {
+		e.Core = *je.Core
+	}
+	if je.Data != "" {
+		data, err := hex.DecodeString(je.Data)
+		if err != nil {
+			return Event{}, fmt.Errorf("telemetry: bad data field: %v", err)
+		}
+		e.Data = data
+	}
+	return e, nil
+}
+
+// JSONLSink writes one JSON object per event, newline-separated — the
+// format behind `-trace out.jsonl` and `hooptop`. Errors are sticky: the
+// first write failure is remembered and reported by Flush, and later
+// events are dropped, so emission sites never see I/O errors.
+type JSONLSink struct {
+	w   *bufio.Writer
+	buf []byte
+	err error
+}
+
+// NewJSONLSink wraps w in a buffered JSONL encoder.
+func NewJSONLSink(w io.Writer) *JSONLSink {
+	return &JSONLSink{w: bufio.NewWriterSize(w, 64<<10)}
+}
+
+// Emit implements Sink.
+func (s *JSONLSink) Emit(e Event) {
+	if s.err != nil {
+		return
+	}
+	s.buf = AppendJSON(s.buf[:0], e)
+	s.buf = append(s.buf, '\n')
+	if _, err := s.w.Write(s.buf); err != nil {
+		s.err = err
+	}
+}
+
+// Flush drains buffered output and returns the first error seen.
+func (s *JSONLSink) Flush() error {
+	if s.err != nil {
+		return s.err
+	}
+	s.err = s.w.Flush()
+	return s.err
+}

@@ -5,11 +5,20 @@ import (
 	"io"
 
 	"hoop/internal/engine"
-	"hoop/internal/mem"
+	"hoop/internal/telemetry"
 )
 
+// RecordMask is the telemetry subscription a Recorder needs: the per-op
+// kinds it converts into binary trace Ops. Subscribe the recorder with
+// sys.Subscribe(rec, trace.RecordMask).
+var RecordMask = telemetry.MaskOf(telemetry.KindTxBegin, telemetry.KindTxCommit,
+	telemetry.KindLoad, telemetry.KindStore)
+
 // Recorder tees a workload's operations into a trace while they execute.
-// Wrap each thread's Env with Wrap, run the workload, then Flush.
+// It is a telemetry.Sink: subscribe it to a system's hub with RecordMask,
+// run the workload, then Flush. The engine executes on one goroutine and
+// emits exactly one event per operation in issue order, so the captured
+// trace is the operation stream.
 type Recorder struct {
 	w *Writer
 }
@@ -25,39 +34,30 @@ func (r *Recorder) Flush() error { return r.w.Flush() }
 // Count reports recorded ops.
 func (r *Recorder) Count() int64 { return r.w.Count() }
 
-// Recorder implements engine.Tracer: install it with
-// sys.SetTracer(recorder) and every operation any workload issues through
-// the engine is captured.
-
-func (r *Recorder) emit(op Op) {
+func (r *Recorder) record(op Op) {
 	if err := r.w.Write(op); err != nil {
 		panic(fmt.Sprintf("trace: recording failed: %v", err))
 	}
 }
 
-// TraceTxBegin implements engine.Tracer.
-func (r *Recorder) TraceTxBegin(thread int) {
-	r.emit(Op{Kind: OpTxBegin, Thread: uint8(thread)})
+// Emit implements telemetry.Sink: per-op events become trace Ops, all
+// other kinds are ignored.
+func (r *Recorder) Emit(e telemetry.Event) {
+	switch e.Kind {
+	case telemetry.KindTxBegin:
+		r.record(Op{Kind: OpTxBegin, Thread: uint8(e.Core)})
+	case telemetry.KindTxCommit:
+		r.record(Op{Kind: OpTxEnd, Thread: uint8(e.Core)})
+	case telemetry.KindLoad:
+		r.record(Op{Kind: OpLoad, Thread: uint8(e.Core), Addr: e.Addr, Size: uint32(e.Bytes)})
+	case telemetry.KindStore:
+		cp := make([]byte, len(e.Data))
+		copy(cp, e.Data)
+		r.record(Op{Kind: OpStore, Thread: uint8(e.Core), Addr: e.Addr, Size: uint32(len(e.Data)), Data: cp})
+	}
 }
 
-// TraceTxEnd implements engine.Tracer.
-func (r *Recorder) TraceTxEnd(thread int) {
-	r.emit(Op{Kind: OpTxEnd, Thread: uint8(thread)})
-}
-
-// TraceLoad implements engine.Tracer.
-func (r *Recorder) TraceLoad(thread int, addr mem.PAddr, size int) {
-	r.emit(Op{Kind: OpLoad, Thread: uint8(thread), Addr: addr, Size: uint32(size)})
-}
-
-// TraceStore implements engine.Tracer.
-func (r *Recorder) TraceStore(thread int, addr mem.PAddr, data []byte) {
-	cp := make([]byte, len(data))
-	copy(cp, data)
-	r.emit(Op{Kind: OpStore, Thread: uint8(thread), Addr: addr, Size: uint32(len(data)), Data: cp})
-}
-
-var _ engine.Tracer = (*Recorder)(nil)
+var _ telemetry.Sink = (*Recorder)(nil)
 
 // Replay drives a recorded trace against a fresh system: every thread's
 // operations execute in recorded order (interleaved exactly as captured),

@@ -89,7 +89,7 @@ func TestRecordReplayEquivalence(t *testing.T) {
 	var buf bytes.Buffer
 	rec := NewRecorder(&buf)
 	src := traceSystem(t, engine.SchemeHOOP)
-	src.SetTracer(rec)
+	src.Subscribe(rec, RecordMask)
 	envs := []*engine.Env{src.NewEnv(0), src.NewEnv(1)}
 	r := sim.NewRand(13)
 	for i := 0; i < 100; i++ {

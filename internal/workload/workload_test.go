@@ -66,14 +66,14 @@ func TestAllWorkloadsExecute(t *testing.T) {
 			sys := testSystem(t, engine.SchemeHOOP)
 			runners := w.Runners(sys, 7)
 			sys.Run(runners, 200)
-			if sys.TxCount() < 200 {
-				t.Fatalf("ran %d txs", sys.TxCount())
+			snap := sys.Snapshot()
+			if snap.Txs < 200 {
+				t.Fatalf("ran %d txs", snap.Txs)
 			}
-			loads, stores := sys.Ops()
-			if stores == 0 {
+			if snap.Stores == 0 {
 				t.Fatal("workload issued no stores")
 			}
-			t.Logf("%s: %d loads, %d stores, span %v", w.Name, loads, stores, sys.MaxClock())
+			t.Logf("%s: %d loads, %d stores, span %v", w.Name, snap.Loads, snap.Stores, sys.MaxClock())
 		})
 	}
 }
@@ -99,11 +99,10 @@ func TestStoresPerTxMatchTableIII(t *testing.T) {
 		t.Run(b.w.Name, func(t *testing.T) {
 			sys := testSystem(t, engine.SchemeNative)
 			runners := b.w.Runners(sys, 11)
-			_, setupStores := sys.Ops()
-			setupTx := sys.TxCount()
+			setup := sys.Snapshot()
 			sys.Run(runners, 500)
-			_, stores := sys.Ops()
-			perTx := float64(stores-setupStores) / float64(sys.TxCount()-setupTx)
+			win := sys.Snapshot().Delta(setup)
+			perTx := float64(win.Stores) / float64(win.Txs)
 			if perTx < b.min || perTx > b.max {
 				t.Fatalf("%s: %.1f stores/tx outside [%v,%v]", b.w.Name, perTx, b.min, b.max)
 			}
@@ -116,8 +115,6 @@ func TestStoresPerTxMatchTableIII(t *testing.T) {
 func TestYCSBWriteReadMix(t *testing.T) {
 	sys := testSystem(t, engine.SchemeNative)
 	runners := YCSB(512).Runners(sys, 3)
-	s0, _ := sys.Ops()
-	_ = s0
 	sys.Run(runners, 2000)
 	st := sys.Stats()
 	// Each update op issues value-size/64 stores; reads issue loads via
@@ -132,10 +129,10 @@ func TestYCSBWriteReadMix(t *testing.T) {
 func TestTPCCWriteReadMix(t *testing.T) {
 	sys := testSystem(t, engine.SchemeNative)
 	runners := TPCC().Runners(sys, 5)
-	l0, s0 := sys.Ops()
+	before := sys.Snapshot()
 	sys.Run(runners, 1500)
-	l1, s1 := sys.Ops()
-	loads, stores := float64(l1-l0), float64(s1-s0)
+	win := sys.Snapshot().Delta(before)
+	loads, stores := float64(win.Loads), float64(win.Stores)
 	frac := stores / (stores + loads)
 	if frac < 0.28 || frac > 0.52 {
 		t.Fatalf("TPC-C write fraction %.2f outside Table III's ~40%%", frac)
@@ -150,15 +147,15 @@ func TestVectorScatteredUpdatesSpreadLines(t *testing.T) {
 	sys := testSystem(t, engine.SchemeNative)
 	runners := Vector(64).Runners(sys, 9)
 	sys.Run(runners, 400)
-	if sys.TxCount() < 400 {
+	snap := sys.Snapshot()
+	if snap.Txs < 400 {
 		t.Fatal("vector did not run")
 	}
 	// The batch-update halves must dirty several distinct lines per tx,
 	// visible as stores spread over more lines than a pure-append run
 	// would touch; sanity-check via the store count per tx (8 scattered
 	// word stores or 9 insert stores).
-	_, stores := sys.Ops()
-	perTx := float64(stores) / float64(sys.TxCount())
+	perTx := float64(snap.Stores) / float64(snap.Txs)
 	if perTx < 6 || perTx > 12 {
 		t.Fatalf("vector stores/tx = %.1f", perTx)
 	}
