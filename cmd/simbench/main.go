@@ -33,6 +33,7 @@ import (
 	"hoop/internal/engine"
 	"hoop/internal/harness"
 	"hoop/internal/mem"
+	"hoop/internal/persist"
 	"hoop/internal/sim"
 	"hoop/internal/workload"
 )
@@ -158,6 +159,40 @@ func benchmarks() map[string]func(b *testing.B) {
 					env.WriteWord(base+mem.PAddr(w*mem.WordSize), uint64(i))
 				}
 				env.TxEnd()
+			}
+		},
+		// The bare transaction bracket: TxBegin + TxEnd with no stores. This
+		// is pure scheme-state setup/teardown — any per-transaction
+		// allocation or map rebuild shows up here undiluted.
+		"tx_begin_commit_empty": func(b *testing.B) {
+			sys := engineForBench(b)
+			env := sys.NewEnv(0)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				env.TxBegin()
+				env.TxEnd()
+			}
+		},
+		// One committed 4-word transaction followed by a forced GC epoch:
+		// the scan/coalesce/migrate/recycle pass plus whatever per-epoch
+		// state the scheme rebuilds.
+		"gc_epoch": func(b *testing.B) {
+			sys := engineForBench(b)
+			env := sys.NewEnv(0)
+			q, ok := sys.Scheme().(persist.Quiescer)
+			if !ok {
+				b.Fatal("simbench: HOOP scheme lost its Quiescer capability")
+			}
+			const span = 1 << 20
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				base := mem.PAddr(uint64(i) * 4 * mem.WordSize % span)
+				env.TxBegin()
+				for w := 0; w < 4; w++ {
+					env.WriteWord(base+mem.PAddr(w*mem.WordSize), uint64(i))
+				}
+				env.TxEnd()
+				q.Quiesce(env.Now())
 			}
 		},
 	}
@@ -293,6 +328,14 @@ func main() {
 			if pr.SpeedupVsBaseline > 0 && pr.SpeedupVsBaseline < limit {
 				fmt.Fprintf(os.Stderr, "simbench: REGRESSION %s: %.1f%% slower than baseline (%.2fx)\n",
 					name, (1/pr.SpeedupVsBaseline-1)*100, pr.SpeedupVsBaseline)
+				failed = true
+			}
+			// Allocation counts are exact integers, not wall-clock noise: any
+			// increase over the baseline is a real new allocation on the hot
+			// path and fails the gate outright.
+			if base, ok := baseline.Primitives[name]; ok && pr.AllocsPerOp > base.AllocsPerOp {
+				fmt.Fprintf(os.Stderr, "simbench: REGRESSION %s: %d allocs/op, baseline has %d\n",
+					name, pr.AllocsPerOp, base.AllocsPerOp)
 				failed = true
 			}
 		}

@@ -13,13 +13,14 @@ package lad
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"hoop/internal/cache"
 	"hoop/internal/mem"
 	"hoop/internal/persist"
 	"hoop/internal/sim"
 	"hoop/internal/telemetry"
+	"hoop/internal/u64map"
 )
 
 // Timing constants.
@@ -46,9 +47,12 @@ type Scheme struct {
 	ctx   persist.Context
 	alloc persist.TxnAllocator
 	// Per-core transaction write sets (line-granular), modelling the
-	// controller queue contents.
-	txLines  []map[uint64]struct{}
+	// controller queue contents; epoch-cleared per transaction.
+	txLines  []u64map.Set
 	spillCnt []int
+
+	// lineScratch is the reused commit-time sort buffer.
+	lineScratch []uint64
 
 	statTxCommitted *sim.Counter
 }
@@ -57,7 +61,7 @@ type Scheme struct {
 func New(ctx persist.Context) *Scheme {
 	return &Scheme{
 		ctx:             ctx,
-		txLines:         make([]map[uint64]struct{}, ctx.Cores),
+		txLines:         make([]u64map.Set, ctx.Cores),
 		spillCnt:        make([]int, ctx.Cores),
 		statTxCommitted: ctx.Stats.Counter(sim.StatTxCommitted),
 	}
@@ -85,7 +89,7 @@ func (s *Scheme) Properties() persist.Properties {
 
 // TxBegin implements persist.Scheme.
 func (s *Scheme) TxBegin(core int, now sim.Time) (persist.TxID, sim.Time) {
-	s.txLines[core] = make(map[uint64]struct{}, 16)
+	s.txLines[core].Clear()
 	return s.alloc.Next(), now
 }
 
@@ -94,12 +98,14 @@ func (s *Scheme) TxBegin(core int, now sim.Time) (persist.TxID, sim.Time) {
 // spills to the NVM staging area (one posted line write); if that line is
 // dirtied again it will be written again.
 func (s *Scheme) Store(core int, tx persist.TxID, addr mem.PAddr, val []byte, now sim.Time) sim.Time {
-	for _, w := range persist.WordsOf(addr, val) {
-		line := mem.LineIndex(w.Addr)
-		if _, ok := s.txLines[core][line]; ok {
+	set := &s.txLines[core]
+	end := addr + mem.PAddr(len(val))
+	for a := mem.LineAddr(addr); a < end; a += mem.LineSize {
+		line := mem.LineIndex(a)
+		if set.Contains(line) {
 			continue
 		}
-		if len(s.txLines[core]) >= queueCapLines {
+		if set.Len() >= queueCapLines {
 			// Spill one buffered line to the staging area. The spill
 			// target cycles through a per-core staging stripe.
 			spill := s.ctx.Layout.OOP.Base + mem.PAddr(core*queueCapLines*mem.LineSize) +
@@ -115,7 +121,7 @@ func (s *Scheme) Store(core int, tx persist.TxID, addr mem.PAddr, val []byte, no
 				})
 			}
 		}
-		s.txLines[core][line] = struct{}{}
+		set.Add(line)
 	}
 	return now
 }
@@ -126,11 +132,9 @@ func (s *Scheme) Store(core int, tx persist.TxID, addr mem.PAddr, val []byte, no
 // durable once the handshake finishes; the NVM writes drain as posted
 // writes.
 func (s *Scheme) TxEnd(core int, tx persist.TxID, now sim.Time) sim.Time {
-	lines := make([]uint64, 0, len(s.txLines[core]))
-	for l := range s.txLines[core] {
-		lines = append(lines, l)
-	}
-	sort.Slice(lines, func(i, j int) bool { return lines[i] < lines[j] })
+	lines := s.txLines[core].Keys(s.lineScratch[:0])
+	s.lineScratch = lines
+	slices.Sort(lines)
 	var buf [mem.LineSize]byte
 	// The controller queues sit inside the persistence domain: once the
 	// commit handshake accepts the line set, the hardware drains it to NVM
@@ -153,7 +157,7 @@ func (s *Scheme) TxEnd(core int, tx persist.TxID, now sim.Time) sim.Time {
 		now = s.ctx.Ctrl.Drain(core, now)
 		now += commitRound
 	}
-	s.txLines[core] = nil
+	s.txLines[core].Clear()
 	s.statTxCommitted.Inc()
 	return now
 }
@@ -188,7 +192,7 @@ func (s *Scheme) Tick(now sim.Time) {}
 // never reached the home region.
 func (s *Scheme) Crash() {
 	for i := range s.txLines {
-		s.txLines[i] = nil
+		s.txLines[i].Clear()
 	}
 	s.ctx.Ctrl.ResetPending()
 }

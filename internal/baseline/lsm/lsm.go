@@ -12,7 +12,7 @@ package lsm
 import (
 	"encoding/binary"
 	"fmt"
-	"sort"
+	"slices"
 
 	"hoop/internal/cache"
 	"hoop/internal/mem"
@@ -20,6 +20,7 @@ import (
 	"hoop/internal/sim"
 	"hoop/internal/skiplist"
 	"hoop/internal/telemetry"
+	"hoop/internal/u64map"
 )
 
 // Log record: [magic u32][epoch u32][txid u64][addr u64][len u32][pad u32]
@@ -65,11 +66,15 @@ type Scheme struct {
 	cursor  mem.PAddr
 	epoch   uint32
 
-	index     *skiplist.List        // home word addr -> log data addr
-	lineWords map[uint64]int        // home line -> log-resident word count
-	records   []record              // volatile mirror of live log records
-	committed map[persist.TxID]bool // committed since last GC
-	liveTx    map[persist.TxID]int  // live tx -> record count
+	index     *skiplist.List    // home word addr -> log data addr
+	lineWords u64map.Map[int32] // home line -> log-resident word count
+	records   []record          // volatile mirror of live log records
+	committed u64map.Set        // tx committed since last GC
+	liveTx    u64map.Map[int32] // live tx -> record count
+
+	// GC coalescing scratch, epoch-cleared and reused across passes.
+	gcWords u64map.Map[[mem.WordSize]byte]
+	gcAddrs []uint64
 
 	nextGC  sim.Time
 	gcBusy  sim.Time
@@ -100,9 +105,6 @@ func New(ctx persist.Context, cfg Config) (*Scheme, error) {
 		logBase:         ctx.Layout.OOP.Base + mem.LineSize,
 		logEnd:          ctx.Layout.OOP.End(),
 		index:           skiplist.New(0xBEEF),
-		lineWords:       make(map[uint64]int),
-		committed:       make(map[persist.TxID]bool),
-		liveTx:          make(map[persist.TxID]int),
 		nextGC:          cfg.GCPeriod,
 		gcAgent:         ctx.Cores,
 		statTxCommitted: ctx.Stats.Counter(sim.StatTxCommitted),
@@ -216,7 +218,7 @@ func (s *Scheme) appendRecord(tx persist.TxID, addr mem.PAddr, data []byte) (at 
 // TxBegin implements persist.Scheme.
 func (s *Scheme) TxBegin(core int, now sim.Time) (persist.TxID, sim.Time) {
 	tx := s.alloc.Next()
-	s.liveTx[tx] = 0
+	s.liveTx.Put(uint64(tx), 0)
 	return tx, now
 }
 
@@ -232,7 +234,7 @@ func (s *Scheme) Store(core int, tx persist.TxID, addr mem.PAddr, val []byte, no
 			Tx: uint64(tx), Addr: at, Bytes: int64(recTraffic(len(val))),
 		})
 	}
-	s.liveTx[tx]++
+	*s.liveTx.Ref(uint64(tx))++
 	var hops int
 	for off := 0; off < len(val); off += mem.WordSize {
 		w := addr + mem.PAddr(off)
@@ -240,8 +242,7 @@ func (s *Scheme) Store(core int, tx persist.TxID, addr mem.PAddr, val []byte, no
 		if h > hops {
 			hops = h
 		}
-		line := mem.LineIndex(w)
-		s.lineWords[line]++
+		*s.lineWords.Ref(mem.LineIndex(w))++
 	}
 	return now + indexInsertBase + sim.Duration(hops)*indexHopCost
 }
@@ -249,12 +250,12 @@ func (s *Scheme) Store(core int, tx persist.TxID, addr mem.PAddr, val []byte, no
 // TxEnd implements persist.Scheme: drain the posted appends, then persist
 // the commit record with a fence.
 func (s *Scheme) TxEnd(core int, tx persist.TxID, now sim.Time) sim.Time {
-	if s.liveTx[tx] > 0 {
+	if n, _ := s.liveTx.Get(uint64(tx)); n > 0 {
 		now = s.ctx.Ctrl.Drain(core, now)
 		at, _ := s.appendRecord(tx, commitSentinel, nil)
 		now = s.ctx.Ctrl.Write(at, recTraffic(0), now)
 		now += commitFence
-		s.committed[tx] = true
+		s.committed.Add(uint64(tx))
 		if s.ctx.Tel.Enabled(telemetry.KindLogWrite) {
 			s.ctx.Tel.Emit(telemetry.Event{
 				Kind: telemetry.KindLogWrite, Time: now, Core: int16(core),
@@ -262,7 +263,7 @@ func (s *Scheme) TxEnd(core int, tx persist.TxID, now sim.Time) sim.Time {
 			})
 		}
 	}
-	delete(s.liveTx, tx)
+	s.liveTx.Delete(uint64(tx))
 	s.statTxCommitted.Inc()
 	return now
 }
@@ -279,7 +280,7 @@ func (s *Scheme) LoadOverhead(core int, addr mem.PAddr, now sim.Time) sim.Time {
 // log, the line is reconstructed from the log entry and the home copy.
 func (s *Scheme) ReadMiss(core int, addr mem.PAddr, now sim.Time) (sim.Time, bool) {
 	line := mem.LineIndex(addr)
-	if s.lineWords[line] > 0 {
+	if n, _ := s.lineWords.Get(line); n > 0 {
 		logAt, ok, _ := s.index.Get(uint64(mem.WordAddr(addr)))
 		if !ok {
 			logAt = uint64(s.logBase)
@@ -325,7 +326,7 @@ func (s *Scheme) Quiesce(now sim.Time) { s.ForceGC(now) }
 // transactions (the engine ticks between transactions); records of
 // uncommitted-but-crashed transactions never occur during a run.
 func (s *Scheme) runGC(start sim.Time) {
-	if len(s.liveTx) > 0 {
+	if s.liveTx.Len() > 0 {
 		// Defer: a GC with live transactions would have to relocate
 		// their records; the next between-transaction tick will run it.
 		return
@@ -344,35 +345,37 @@ func (s *Scheme) runGC(start sim.Time) {
 	}
 	scannedBefore := s.statGCScanned.Value()
 	migratedBefore := s.statGCMigrated.Value()
-	newest := make(map[mem.PAddr][mem.WordSize]byte)
+	// newest is the pass-scoped coalescing table, epoch-cleared and reused
+	// so a steady GC cadence performs no allocation (same structure as
+	// HOOP's GC coalescing table).
+	newest := &s.gcWords
+	newest.Clear()
 	st := s.ctx.Dev.Store()
-	var buf [mem.WordSize]byte
 	for i := len(s.records) - 1; i >= 0; i-- {
 		r := s.records[i]
-		if r.addr == commitSentinel || !s.committed[r.tx] {
+		if r.addr == commitSentinel || !s.committed.Contains(uint64(r.tx)) {
 			continue
 		}
 		t = sim.MaxTime(t, s.ctx.Ctrl.Read(r.at, recHdrSize+r.n, arr))
 		s.statGCScanned.Add(int64(recHdrSize + r.n))
 		for off := 0; off < r.n; off += mem.WordSize {
 			w := r.addr + mem.PAddr(off)
-			if _, ok := newest[w]; !ok {
-				st.Read(r.at+recHdrSize+mem.PAddr(off), buf[:])
-				newest[w] = buf
+			before := newest.Len()
+			p := newest.Ref(uint64(w))
+			if newest.Len() != before {
+				st.Read(r.at+recHdrSize+mem.PAddr(off), p[:])
 			}
 		}
 	}
-	words := make([]mem.PAddr, 0, len(newest))
-	for w := range newest {
-		words = append(words, w)
-	}
-	sort.Slice(words, func(i, j int) bool { return words[i] < words[j] })
+	words := newest.Keys(s.gcAddrs[:0])
+	s.gcAddrs = words
+	slices.Sort(words)
 	for i := 0; i < len(words); {
-		lineAddr := mem.LineAddr(words[i])
+		lineAddr := mem.LineAddr(mem.PAddr(words[i]))
 		j := i
-		for j < len(words) && mem.LineAddr(words[j]) == lineAddr {
-			wv := newest[words[j]]
-			st.Write(words[j], wv[:])
+		for j < len(words) && mem.LineAddr(mem.PAddr(words[j])) == lineAddr {
+			wv, _ := newest.Get(words[j])
+			st.Write(mem.PAddr(words[j]), wv[:])
 			j++
 		}
 		n := (j - i) * mem.WordSize
@@ -386,9 +389,9 @@ func (s *Scheme) runGC(start sim.Time) {
 	t = sim.MaxTime(t, s.ctx.Ctrl.Write(s.ctx.Layout.OOP.Base, mem.LineSize, arr))
 	s.cursor = s.logBase
 	s.records = s.records[:0]
-	s.committed = make(map[persist.TxID]bool)
+	s.committed.Clear()
 	s.index.Clear()
-	s.lineWords = make(map[uint64]int)
+	s.lineWords.Clear()
 	if s.ctx.Tel.Enabled(telemetry.KindGCEnd) {
 		s.ctx.Tel.Emit(telemetry.Event{
 			Kind: telemetry.KindGCEnd, Time: t, Core: -1,
@@ -403,10 +406,10 @@ func (s *Scheme) runGC(start sim.Time) {
 // are lost.
 func (s *Scheme) Crash() {
 	s.index.Clear()
-	s.lineWords = make(map[uint64]int)
-	s.records = nil
-	s.committed = make(map[persist.TxID]bool)
-	s.liveTx = make(map[persist.TxID]int)
+	s.lineWords.Clear()
+	s.records = s.records[:0]
+	s.committed.Clear()
+	s.liveTx.Clear()
 	s.ctx.Ctrl.ResetPending()
 }
 
@@ -462,10 +465,10 @@ func (s *Scheme) Recover(threads int) (sim.Duration, error) {
 	s.epoch = epoch + 1
 	s.writeEpoch()
 	s.cursor = s.logBase
-	s.records = nil
-	s.committed = make(map[persist.TxID]bool)
+	s.records = s.records[:0]
+	s.committed.Clear()
 	s.index.Clear()
-	s.lineWords = make(map[uint64]int)
+	s.lineWords.Clear()
 	bw := s.ctx.Dev.Params().Bandwidth
 	modeled := sim.Duration(1*sim.Millisecond) +
 		sim.Duration((scanned+applied)*int64(sim.Second)/bw)

@@ -11,13 +11,14 @@ package osp
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"hoop/internal/cache"
 	"hoop/internal/mem"
 	"hoop/internal/persist"
 	"hoop/internal/sim"
 	"hoop/internal/telemetry"
+	"hoop/internal/u64map"
 )
 
 // shadowBase maps a home line to its shadow twin: shadow(x) = shadowBase+x.
@@ -61,16 +62,24 @@ type Scheme struct {
 
 	bitmapBase mem.PAddr
 	intentBase mem.PAddr
-	txLines    []map[uint64]struct{}
+	txLines    []u64map.Set // per-core write sets, epoch-cleared per tx
 	// shadowCur mirrors the durable bitmap: lines whose current copy is
 	// the shadow one.
-	shadowCur map[uint64]struct{}
+	shadowCur u64map.Set
 	// consQ orders shadowCur for consolidation (oldest flip first).
-	// Iterating the map directly would consolidate a different batch every
-	// run — Go randomizes map order — breaking simulation determinism.
+	// Iterating the set directly would tie the consolidation batch to the
+	// probe-chain layout; the queue keeps it in flip order.
 	consQ     []uint64
 	nextCons  sim.Time
 	consAgent int
+
+	// Reused commit/consolidation scratch so steady-state transactions
+	// perform no allocation.
+	lineScratch []uint64
+	bitWords    u64map.Map[uint64] // aligned bitmap word addr -> XOR mask
+	bwScratch   []uint64
+	valScratch  []uint64
+	consScratch []uint64
 
 	statTxCommitted *sim.Counter
 }
@@ -89,8 +98,7 @@ func New(ctx persist.Context) (*Scheme, error) {
 		ctx:             ctx,
 		bitmapBase:      ctx.Layout.OOP.Base,
 		intentBase:      intentBase,
-		txLines:         make([]map[uint64]struct{}, ctx.Cores),
-		shadowCur:       make(map[uint64]struct{}),
+		txLines:         make([]u64map.Set, ctx.Cores),
 		nextCons:        consolidationPeriod,
 		consAgent:       ctx.Cores + 1,
 		statTxCommitted: ctx.Stats.Counter(sim.StatTxCommitted),
@@ -129,8 +137,7 @@ func (s *Scheme) bitAddr(line uint64) (mem.PAddr, byte) {
 }
 
 func (s *Scheme) isShadowCurrent(line uint64) bool {
-	_, ok := s.shadowCur[line]
-	return ok
+	return s.shadowCur.Contains(line)
 }
 
 // setCurrent durably records which copy of line is current and keeps the
@@ -142,13 +149,12 @@ func (s *Scheme) setCurrent(line uint64, shadow bool) mem.PAddr {
 	s.ctx.Dev.Store().Read(at, b[:])
 	if shadow {
 		b[0] |= mask
-		if _, ok := s.shadowCur[line]; !ok {
+		if s.shadowCur.Add(line) {
 			s.consQ = append(s.consQ, line)
 		}
-		s.shadowCur[line] = struct{}{}
 	} else {
 		b[0] &^= mask
-		delete(s.shadowCur, line)
+		s.shadowCur.Delete(line)
 	}
 	s.ctx.Dev.Store().Write(at, b[:])
 	return at
@@ -157,11 +163,9 @@ func (s *Scheme) setCurrent(line uint64, shadow bool) mem.PAddr {
 // toggleVolatile flips line's current copy in the volatile mirror only;
 // the durable bitmap change travels through the commit intent record.
 func (s *Scheme) toggleVolatile(line uint64) {
-	if s.isShadowCurrent(line) {
-		delete(s.shadowCur, line)
-	} else {
+	if !s.shadowCur.Delete(line) {
 		s.consQ = append(s.consQ, line)
-		s.shadowCur[line] = struct{}{}
+		s.shadowCur.Add(line)
 	}
 }
 
@@ -185,15 +189,16 @@ func (s *Scheme) inactiveAddr(line uint64) mem.PAddr {
 
 // TxBegin implements persist.Scheme.
 func (s *Scheme) TxBegin(core int, now sim.Time) (persist.TxID, sim.Time) {
-	s.txLines[core] = make(map[uint64]struct{}, 16)
+	s.txLines[core].Clear()
 	return s.alloc.Next(), now
 }
 
 // Store implements persist.Scheme: track the write set; data is written at
 // commit via copy-on-write to the inactive lines.
 func (s *Scheme) Store(core int, tx persist.TxID, addr mem.PAddr, val []byte, now sim.Time) sim.Time {
-	for _, w := range persist.WordsOf(addr, val) {
-		s.txLines[core][mem.LineIndex(w.Addr)] = struct{}{}
+	end := addr + mem.PAddr(len(val))
+	for a := mem.LineAddr(addr); a < end; a += mem.LineSize {
+		s.txLines[core].Add(mem.LineIndex(a))
 	}
 	return now
 }
@@ -202,14 +207,12 @@ func (s *Scheme) Store(core int, tx persist.TxID, addr mem.PAddr, val []byte, no
 // inactive copy, drain, durably flip the current-copy bits (8-byte bitmap
 // words cover 64 lines each), and pay the TLB shootdown for the remapping.
 func (s *Scheme) TxEnd(core int, tx persist.TxID, now sim.Time) sim.Time {
-	lines := make([]uint64, 0, len(s.txLines[core]))
-	for l := range s.txLines[core] {
-		lines = append(lines, l)
-	}
-	sort.Slice(lines, func(i, j int) bool { return lines[i] < lines[j] })
+	lines := s.txLines[core].Keys(s.lineScratch[:0])
+	s.lineScratch = lines
+	slices.Sort(lines)
 	var buf [mem.LineSize]byte
-	pages := make(map[uint64]struct{}, 4)
-	bitWords := make(map[mem.PAddr]uint64, 4)
+	npages := 0
+	var lastPage uint64
 	for _, l := range lines {
 		lineAddr := mem.PAddr(l << mem.LineShift)
 		target := s.inactiveAddr(l)
@@ -219,36 +222,48 @@ func (s *Scheme) TxEnd(core int, tx persist.TxID, now sim.Time) sim.Time {
 		// The eager flush leaves the cached copy clean — its data is
 		// durable in the (about-to-be-current) shadow copy.
 		s.ctx.Hier.FlushLine(lineAddr, false)
-		pages[l>>6] = struct{}{} // 64 lines per 4 KB page
+		// 64 lines per 4 KB page; lines are sorted, so distinct pages are
+		// exactly the page-index changes.
+		if npages == 0 || l>>6 != lastPage {
+			npages++
+			lastPage = l >> 6
+		}
 	}
 	if len(lines) > 0 {
 		now = s.ctx.Ctrl.Drain(core, now)
 		// Group the flips by aligned 8-byte bitmap word and compute each
 		// word's post-image (a flip is a toggle, so an XOR mask per word).
+		// Lines are sorted, so the word addresses surface in ascending
+		// order and bws needs no separate sort.
+		s.bitWords.Clear()
+		bws := s.bwScratch[:0]
 		for _, l := range lines {
 			at, mask := s.bitAddr(l)
 			w := at &^ 7
-			bitWords[w] |= uint64(mask) << (8 * uint(at-w))
+			before := s.bitWords.Len()
+			p := s.bitWords.Ref(uint64(w))
+			if s.bitWords.Len() != before {
+				bws = append(bws, uint64(w))
+			}
+			*p |= uint64(mask) << (8 * uint(at-w))
 			s.toggleVolatile(l)
 		}
-		bws := make([]mem.PAddr, 0, len(bitWords))
-		for at := range bitWords {
-			bws = append(bws, at)
-		}
-		sort.Slice(bws, func(i, j int) bool { return bws[i] < bws[j] })
+		s.bwScratch = bws
 		if len(bws) > intentMaxEntries {
 			panic(fmt.Sprintf("osp: transaction flips %d bitmap words, intent record holds %d", len(bws), intentMaxEntries))
 		}
 		st := s.ctx.Dev.Store()
-		vals := make([]uint64, len(bws))
-		for i, w := range bws {
-			vals[i] = st.ReadWord(w) ^ bitWords[w]
+		vals := s.valScratch[:0]
+		for _, w := range bws {
+			xor, _ := s.bitWords.Get(w)
+			vals = append(vals, st.ReadWord(mem.PAddr(w))^xor)
 		}
+		s.valScratch = vals
 		// Durable intent: entries first, then the single-unit header that
 		// atomically commits the whole flip set; recovery replays it.
 		for i, w := range bws {
 			ent := s.intentBase + 8 + mem.PAddr(i*intentEntrySize)
-			st.WriteWord(ent, uint64(w))
+			st.WriteWord(ent, w)
 			st.WriteWord(ent+8, vals[i])
 			s.ctx.Ctrl.PostWrite(core, ent, intentEntrySize, now)
 		}
@@ -258,8 +273,8 @@ func (s *Scheme) TxEnd(core int, tx persist.TxID, now sim.Time) sim.Time {
 		// Apply the flips (each word write is atomic; the intent covers
 		// the group), then retire the intent.
 		for i, w := range bws {
-			st.WriteWord(w, vals[i])
-			now = s.ctx.Ctrl.Write(w, 8, now)
+			st.WriteWord(mem.PAddr(w), vals[i])
+			now = s.ctx.Ctrl.Write(mem.PAddr(w), 8, now)
 		}
 		st.WriteWord(s.intentBase, 0)
 		s.ctx.Ctrl.PostWrite(core, s.intentBase, 8, now)
@@ -272,9 +287,9 @@ func (s *Scheme) TxEnd(core int, tx persist.TxID, now sim.Time) sim.Time {
 				Bytes: 8 + int64(len(bws))*intentEntrySize,
 			})
 		}
-		now += shootdownCost + shootdownPerPage*sim.Duration(len(pages)-1)
+		now += shootdownCost + shootdownPerPage*sim.Duration(npages-1)
 	}
-	s.txLines[core] = nil
+	s.txLines[core].Clear()
 	s.statTxCommitted.Inc()
 	return now
 }
@@ -317,7 +332,7 @@ func (s *Scheme) Tick(now sim.Time) {
 // (harness: close a measurement window with the scheme's deferred copy
 // traffic accounted).
 func (s *Scheme) ForceConsolidate(now sim.Time) {
-	for len(s.shadowCur) > 0 {
+	for s.shadowCur.Len() > 0 {
 		s.consolidate(now, consolidationBatch)
 	}
 }
@@ -325,7 +340,7 @@ func (s *Scheme) ForceConsolidate(now sim.Time) {
 func (s *Scheme) consolidate(now sim.Time, batch int) {
 	// Pop the oldest still-shadow-current lines; entries flipped back by a
 	// later transaction are dropped lazily.
-	lines := make([]uint64, 0, batch)
+	lines := s.consScratch[:0]
 	for len(s.consQ) > 0 && len(lines) < batch {
 		l := s.consQ[0]
 		s.consQ = s.consQ[1:]
@@ -333,7 +348,8 @@ func (s *Scheme) consolidate(now sim.Time, batch int) {
 			lines = append(lines, l)
 		}
 	}
-	sort.Slice(lines, func(i, j int) bool { return lines[i] < lines[j] })
+	s.consScratch = lines
+	slices.Sort(lines)
 	if len(lines) == 0 {
 		return
 	}
@@ -366,10 +382,10 @@ func (s *Scheme) consolidate(now sim.Time, batch int) {
 // vanish; the durable bitmap survives.
 func (s *Scheme) Crash() {
 	for i := range s.txLines {
-		s.txLines[i] = nil
+		s.txLines[i].Clear()
 	}
-	s.shadowCur = make(map[uint64]struct{})
-	s.consQ = nil
+	s.shadowCur.Clear()
+	s.consQ = s.consQ[:0]
 	s.ctx.Ctrl.ResetPending()
 }
 
@@ -422,8 +438,8 @@ func (s *Scheme) Recover(threads int) (sim.Duration, error) {
 	})
 	// Clear the bitmap durably.
 	store.ZeroRange(s.bitmapBase, uint64(bitmapEnd-s.bitmapBase))
-	s.shadowCur = make(map[uint64]struct{})
-	s.consQ = nil
+	s.shadowCur.Clear()
+	s.consQ = s.consQ[:0]
 	bw := s.ctx.Dev.Params().Bandwidth
 	modeled := sim.Duration(1*sim.Millisecond) +
 		sim.Duration((scanned+2*consolidated)*int64(sim.Second)/bw)

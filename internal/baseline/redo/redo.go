@@ -12,7 +12,7 @@ package redo
 import (
 	"encoding/binary"
 	"fmt"
-	"sort"
+	"slices"
 
 	"hoop/internal/baseline/logring"
 	"hoop/internal/cache"
@@ -20,6 +20,7 @@ import (
 	"hoop/internal/persist"
 	"hoop/internal/sim"
 	"hoop/internal/telemetry"
+	"hoop/internal/u64map"
 )
 
 // Record payload: [flags|txid u64][home line addr u64][64-byte new image].
@@ -46,18 +47,24 @@ type Scheme struct {
 	alloc persist.TxnAllocator
 	ring  *logring.Ring
 
-	// Per-core live transaction write sets.
-	txLines []map[uint64]struct{}
+	// Per-core live transaction write sets, epoch-cleared per transaction.
+	txLines []u64map.Set
 
 	// redirect points reads of not-yet-checkpointed lines at their newest
 	// log entry (WrAP's victim/redirect path).
-	redirect map[uint64]mem.PAddr
+	redirect u64map.Map[mem.PAddr]
 
 	// ckptQueue holds committed line images awaiting in-place apply, in
 	// commit order. ckptSeq tracks the log records made dead by completed
 	// checkpoints.
 	ckptQueue []ckptItem
 	ckptAgent int
+
+	// Reused scratch state so steady-state commits and checkpoint batches
+	// perform no allocation.
+	lineScratch []uint64
+	remain      u64map.Set
+	stale       []uint64
 
 	statTxCommitted *sim.Counter
 }
@@ -77,8 +84,7 @@ func New(ctx persist.Context) (*Scheme, error) {
 	return &Scheme{
 		ctx:             ctx,
 		ring:            ring,
-		txLines:         make([]map[uint64]struct{}, ctx.Cores),
-		redirect:        make(map[uint64]mem.PAddr),
+		txLines:         make([]u64map.Set, ctx.Cores),
 		ckptAgent:       ctx.Cores + 1,
 		statTxCommitted: ctx.Stats.Counter(sim.StatTxCommitted),
 	}, nil
@@ -113,15 +119,16 @@ func (s *Scheme) Properties() persist.Properties {
 
 // TxBegin implements persist.Scheme.
 func (s *Scheme) TxBegin(core int, now sim.Time) (persist.TxID, sim.Time) {
-	s.txLines[core] = make(map[uint64]struct{}, 16)
+	s.txLines[core].Clear()
 	return s.alloc.Next(), now
 }
 
 // Store implements persist.Scheme: updates run at cache speed; the write
 // set is tracked for the commit-time log flush.
 func (s *Scheme) Store(core int, tx persist.TxID, addr mem.PAddr, val []byte, now sim.Time) sim.Time {
-	for _, w := range persist.WordsOf(addr, val) {
-		s.txLines[core][mem.LineIndex(w.Addr)] = struct{}{}
+	end := addr + mem.PAddr(len(val))
+	for a := mem.LineAddr(addr); a < end; a += mem.LineSize {
+		s.txLines[core].Add(mem.LineIndex(a))
 	}
 	return now
 }
@@ -129,11 +136,9 @@ func (s *Scheme) Store(core int, tx persist.TxID, addr mem.PAddr, val []byte, no
 // TxEnd implements persist.Scheme: stream one two-line redo entry per dirty
 // line, drain, then persist the commit marker. Checkpointing is deferred.
 func (s *Scheme) TxEnd(core int, tx persist.TxID, now sim.Time) sim.Time {
-	lines := make([]uint64, 0, len(s.txLines[core]))
-	for l := range s.txLines[core] {
-		lines = append(lines, l)
-	}
-	sort.Slice(lines, func(i, j int) bool { return lines[i] < lines[j] })
+	lines := s.txLines[core].Keys(s.lineScratch[:0])
+	s.lineScratch = lines
+	slices.Sort(lines)
 	var buf [mem.LineSize]byte
 	for _, l := range lines {
 		lineAddr := mem.PAddr(l << mem.LineShift)
@@ -153,7 +158,7 @@ func (s *Scheme) TxEnd(core int, tx persist.TxID, now sim.Time) sim.Time {
 				Tx: uint64(tx), Addr: at, Bytes: entryTraffic,
 			})
 		}
-		s.redirect[l] = at
+		s.redirect.Put(l, at)
 		var item ckptItem
 		item.line = l
 		item.seq = seq
@@ -176,7 +181,7 @@ func (s *Scheme) TxEnd(core int, tx persist.TxID, now sim.Time) sim.Time {
 			})
 		}
 	}
-	s.txLines[core] = nil
+	s.txLines[core].Clear()
 	s.statTxCommitted.Inc()
 	return now
 }
@@ -185,7 +190,7 @@ func (s *Scheme) TxEnd(core int, tx persist.TxID, now sim.Time) sim.Time {
 // is still only in the log is redirected there.
 func (s *Scheme) ReadMiss(core int, addr mem.PAddr, now sim.Time) (sim.Time, bool) {
 	line := mem.LineIndex(addr)
-	if at, ok := s.redirect[line]; ok {
+	if at, ok := s.redirect.Get(line); ok {
 		return s.ctx.Ctrl.Read(at, mem.LineSize, now), false
 	}
 	return s.ctx.Ctrl.Read(mem.LineAddr(addr), mem.LineSize, now), false
@@ -258,16 +263,25 @@ func (s *Scheme) checkpoint(now sim.Time, n int, onDemand bool) sim.Time {
 	}
 	now = done
 	// Remove redirects that are now satisfied by the home region: any
-	// redirect whose log record is covered by the truncation bound.
+	// redirect whose log record is covered by the truncation bound. The
+	// remaining-set and the stale list are reused scratch (collect first,
+	// delete after — deleting while ranging would disturb the probe chains
+	// the iteration is walking).
 	s.ckptQueue = append(s.ckptQueue[:0], s.ckptQueue[n:]...)
-	remaining := make(map[uint64]struct{}, len(s.ckptQueue))
+	s.remain.Clear()
 	for i := range s.ckptQueue {
-		remaining[s.ckptQueue[i].line] = struct{}{}
+		s.remain.Add(s.ckptQueue[i].line)
 	}
-	for line := range s.redirect {
-		if _, ok := remaining[line]; !ok {
-			delete(s.redirect, line)
+	stale := s.stale[:0]
+	s.redirect.Range(func(line uint64, _ *mem.PAddr) bool {
+		if !s.remain.Contains(line) {
+			stale = append(stale, line)
 		}
+		return true
+	})
+	s.stale = stale
+	for _, line := range stale {
+		s.redirect.Delete(line)
 	}
 	// Truncate: records up to maxSeq are checkpointed. Records of live
 	// (uncommitted) transactions never precede maxSeq because entries are
@@ -288,10 +302,10 @@ func (s *Scheme) checkpoint(now sim.Time, n int, onDemand bool) sim.Time {
 // Crash implements persist.Scheme.
 func (s *Scheme) Crash() {
 	for i := range s.txLines {
-		s.txLines[i] = nil
+		s.txLines[i].Clear()
 	}
-	s.redirect = make(map[uint64]mem.PAddr)
-	s.ckptQueue = nil
+	s.redirect.Clear()
+	s.ckptQueue = s.ckptQueue[:0]
 	s.ctx.Ctrl.ResetPending()
 }
 

@@ -13,7 +13,7 @@ package undo
 import (
 	"encoding/binary"
 	"fmt"
-	"sort"
+	"slices"
 
 	"hoop/internal/baseline/logring"
 	"hoop/internal/cache"
@@ -21,6 +21,7 @@ import (
 	"hoop/internal/persist"
 	"hoop/internal/sim"
 	"hoop/internal/telemetry"
+	"hoop/internal/u64map"
 )
 
 // Record payload: [flags|txid u64][home line addr u64][64-byte old image].
@@ -43,9 +44,9 @@ type Scheme struct {
 	ring  *logring.Ring
 
 	// Per-core live-transaction state.
-	logged   []map[uint64]struct{} // lines already undo-logged this tx
-	dirty    [][]uint64            // line order for the commit-time force
-	firstSeq []uint64              // first log record of the live tx (truncation bound)
+	logged   []u64map.Set // lines already undo-logged this tx (epoch-cleared)
+	dirty    [][]uint64   // line order for the commit-time force
+	firstSeq []uint64     // first log record of the live tx (truncation bound)
 
 	statTxCommitted *sim.Counter
 }
@@ -59,7 +60,7 @@ func New(ctx persist.Context) (*Scheme, error) {
 	return &Scheme{
 		ctx:             ctx,
 		ring:            ring,
-		logged:          make([]map[uint64]struct{}, ctx.Cores),
+		logged:          make([]u64map.Set, ctx.Cores),
 		dirty:           make([][]uint64, ctx.Cores),
 		firstSeq:        make([]uint64, ctx.Cores),
 		statTxCommitted: ctx.Stats.Counter(sim.StatTxCommitted),
@@ -89,7 +90,7 @@ func (s *Scheme) Properties() persist.Properties {
 // TxBegin implements persist.Scheme.
 func (s *Scheme) TxBegin(core int, now sim.Time) (persist.TxID, sim.Time) {
 	tx := s.alloc.Next()
-	s.logged[core] = make(map[uint64]struct{}, 16)
+	s.logged[core].Clear()
 	s.dirty[core] = s.dirty[core][:0]
 	s.firstSeq[core] = 0
 	return tx, now
@@ -107,12 +108,12 @@ const mcQueueCost = 15 * sim.Nanosecond
 // dependency costs queue occupancy on the critical path, and the commit
 // must later drain every log write before the data force.
 func (s *Scheme) Store(core int, tx persist.TxID, addr mem.PAddr, val []byte, now sim.Time) sim.Time {
-	for _, w := range persist.WordsOf(addr, val) {
-		line := mem.LineIndex(w.Addr)
-		if _, ok := s.logged[core][line]; ok {
+	end := addr + mem.PAddr(len(val))
+	for a := mem.LineAddr(addr); a < end; a += mem.LineSize {
+		line := mem.LineIndex(a)
+		if !s.logged[core].Add(line) {
 			continue
 		}
-		s.logged[core][line] = struct{}{}
 		s.dirty[core] = append(s.dirty[core], line)
 		lineAddr := mem.PAddr(line << mem.LineShift)
 
@@ -157,8 +158,9 @@ func (s *Scheme) Store(core int, tx persist.TxID, addr mem.PAddr, val []byte, no
 // address (undo logging requires committed data to be durable), then
 // persist the commit marker and truncate.
 func (s *Scheme) TxEnd(core int, tx persist.TxID, now sim.Time) sim.Time {
-	lines := append([]uint64(nil), s.dirty[core]...)
-	sort.Slice(lines, func(i, j int) bool { return lines[i] < lines[j] })
+	// Sorting the dirty list in place is fine: it is reset before reuse.
+	lines := s.dirty[core]
+	slices.Sort(lines)
 	var buf [mem.LineSize]byte
 	for _, l := range lines {
 		lineAddr := mem.PAddr(l << mem.LineShift)
@@ -183,7 +185,7 @@ func (s *Scheme) TxEnd(core int, tx persist.TxID, now sim.Time) sim.Time {
 			})
 		}
 	}
-	s.logged[core] = nil
+	s.logged[core].Clear()
 	s.dirty[core] = s.dirty[core][:0]
 	s.firstSeq[core] = 0
 	s.truncate(now)
@@ -245,8 +247,8 @@ func (s *Scheme) Tick(now sim.Time) {}
 // Crash implements persist.Scheme.
 func (s *Scheme) Crash() {
 	for i := range s.logged {
-		s.logged[i] = nil
-		s.dirty[i] = nil
+		s.logged[i].Clear()
+		s.dirty[i] = s.dirty[i][:0]
 		s.firstSeq[i] = 0
 	}
 	s.ctx.Ctrl.ResetPending()

@@ -157,9 +157,93 @@ type Hierarchy struct {
 	// present maps line index -> bitmask of cores whose private hierarchy
 	// (L1 or L2) may hold the line; used for write-invalidation without
 	// scanning all cores on every store.
-	present map[uint64]uint32
+	present presenceIndex
+	// evScratch backs the slice Fill returns; the caller owns the contents
+	// only until the next Fill call.
+	evScratch []Eviction
 
 	tel *telemetry.Hub
+}
+
+// Presence-index geometry: the core-presence bitmasks live in direct-mapped
+// pages of presenceLines consecutive line indices (one page spans
+// presenceLines × 64 B = 16 KB of address space), found through a page table
+// with a last-touched-page cache — the same structure mem.Store uses for
+// data. Every hot-path presence read or update is then an array index; the
+// page-table map is only consulted when the access stream crosses a page
+// boundary.
+const (
+	presenceShift = 8 // lines per page (256)
+	presenceLines = 1 << presenceShift
+	presenceMask  = presenceLines - 1
+)
+
+type presencePage [presenceLines]uint32
+
+type presenceIndex struct {
+	pages   map[uint64]*presencePage
+	lastKey uint64
+	last    *presencePage
+}
+
+func (p *presenceIndex) reset() {
+	p.pages = make(map[uint64]*presencePage)
+	p.lastKey = 0
+	p.last = nil
+}
+
+// page returns the page covering line idx, or nil when no bit in it was
+// ever set.
+func (p *presenceIndex) page(idx uint64) *presencePage {
+	key := idx >> presenceShift
+	if p.last != nil && key == p.lastKey {
+		return p.last
+	}
+	pg := p.pages[key]
+	if pg != nil {
+		p.lastKey = key
+		p.last = pg
+	}
+	return pg
+}
+
+func (p *presenceIndex) pageOrCreate(idx uint64) *presencePage {
+	if pg := p.page(idx); pg != nil {
+		return pg
+	}
+	key := idx >> presenceShift
+	pg := new(presencePage)
+	p.pages[key] = pg
+	p.lastKey = key
+	p.last = pg
+	return pg
+}
+
+// get returns the presence mask for line idx (0 when never set).
+func (p *presenceIndex) get(idx uint64) uint32 {
+	if pg := p.page(idx); pg != nil {
+		return pg[idx&presenceMask]
+	}
+	return 0
+}
+
+// set stores the presence mask for line idx. Storing 0 keeps the page: the
+// pages track the touched footprint, which is bounded by the run's working
+// set just like mem.Store's data pages.
+func (p *presenceIndex) set(idx uint64, mask uint32) {
+	if mask == 0 {
+		if pg := p.page(idx); pg != nil {
+			pg[idx&presenceMask] = 0
+		}
+		return
+	}
+	p.pageOrCreate(idx)[idx&presenceMask] = mask
+}
+
+// or sets bits in the presence mask for line idx.
+func (p *presenceIndex) or(idx uint64, bits uint32) {
+	pg := p.pageOrCreate(idx)
+	pg[idx&presenceMask] |= bits
 }
 
 // New builds a hierarchy for cfg.
@@ -175,8 +259,8 @@ func New(cfg Config, stats *sim.Stats) *Hierarchy {
 		llcHits:   stats.Counter(sim.StatLLCHits),
 		llcMisses: stats.Counter(sim.StatLLCMisses),
 		evictions: stats.Counter(sim.StatEvictions),
-		present:   make(map[uint64]uint32),
 	}
+	h.present.reset()
 	for i := 0; i < cfg.Cores; i++ {
 		h.l1 = append(h.l1, newLevel(cfg.L1Size, cfg.L1Ways, cfg.L1Latency))
 		h.l2 = append(h.l2, newLevel(cfg.L2Size, cfg.L2Ways, cfg.L2Latency))
@@ -280,8 +364,8 @@ func (h *Hierarchy) markL2Dirty(core int, idx uint64, persistent bool) {
 // invalidateOthers removes the line from every other core's private levels
 // (simple write-invalidate coherence).
 func (h *Hierarchy) invalidateOthers(core int, idx uint64) {
-	mask, ok := h.present[idx]
-	if !ok {
+	mask := h.present.get(idx)
+	if mask == 0 {
 		return
 	}
 	for c := 0; c < h.cfg.Cores; c++ {
@@ -304,7 +388,7 @@ func (h *Hierarchy) invalidateOthers(core int, idx uint64) {
 		mask &^= 1 << uint(c)
 	}
 	mask |= 1 << uint(core)
-	h.present[idx] = mask
+	h.present.set(idx, mask)
 }
 
 // fillL1 installs a line into core's L1 only (it is already in L2/LLC).
@@ -350,17 +434,12 @@ func (h *Hierarchy) fillPrivate(core int, idx uint64, dirty, persistent bool) []
 }
 
 func (h *Hierarchy) addPresence(core int, idx uint64) {
-	h.present[idx] |= 1 << uint(core)
+	h.present.or(idx, 1<<uint(core))
 }
 
 func (h *Hierarchy) dropPresence(core int, idx uint64) {
-	if m, ok := h.present[idx]; ok {
-		m &^= 1 << uint(core)
-		if m == 0 {
-			delete(h.present, idx)
-		} else {
-			h.present[idx] = m
-		}
+	if pg := h.present.page(idx); pg != nil {
+		pg[idx&presenceMask] &^= 1 << uint(core)
 	}
 }
 
@@ -369,13 +448,13 @@ func (h *Hierarchy) dropPresence(core int, idx uint64) {
 // victims are returned so the persistence scheme can write them to NVM.
 func (h *Hierarchy) Fill(core int, a mem.PAddr, write, persistent bool) []Eviction {
 	idx := mem.LineIndex(a)
-	var out []Eviction
+	out := h.evScratch[:0]
 	v := h.llc.insert(idx, write, persistent)
 	if v.valid {
 		dirty := v.dirty
 		pers := v.persistent
 		// Inclusive LLC: back-invalidate every private copy.
-		if mask, ok := h.present[v.idx]; ok {
+		if mask := h.present.get(v.idx); mask != 0 {
 			for c := 0; c < h.cfg.Cores; c++ {
 				if mask&(1<<uint(c)) == 0 {
 					continue
@@ -389,7 +468,7 @@ func (h *Hierarchy) Fill(core int, a mem.PAddr, write, persistent bool) []Evicti
 					pers = pers || old.persistent
 				}
 			}
-			delete(h.present, v.idx)
+			h.present.set(v.idx, 0)
 		}
 		if dirty {
 			h.evictions.Inc()
@@ -400,6 +479,7 @@ func (h *Hierarchy) Fill(core int, a mem.PAddr, write, persistent bool) []Evicti
 	if write {
 		h.invalidateOthers(core, idx)
 	}
+	h.evScratch = out
 	return out
 }
 
@@ -430,7 +510,7 @@ func (h *Hierarchy) FlushLine(a mem.PAddr, invalidate bool) (dirty, persistent b
 	}
 	fold(h.llc)
 	if invalidate {
-		delete(h.present, idx)
+		h.present.set(idx, 0)
 	}
 	return dirty, persistent
 }
@@ -509,5 +589,5 @@ func (h *Hierarchy) DropAll() {
 		h.l2[c].meta = make([]line, h.l2[c].sets*h.l2[c].ways)
 	}
 	h.llc.meta = make([]line, h.llc.sets*h.llc.ways)
-	h.present = make(map[uint64]uint32)
+	h.present.reset()
 }

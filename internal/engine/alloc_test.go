@@ -1,0 +1,45 @@
+package engine
+
+import (
+	"testing"
+
+	"hoop/internal/mem"
+)
+
+// TestTxHotPathAllocs locks the steady-state allocation budget of the full
+// transaction hot path (TxBegin + 4 WriteWords + TxEnd) under the HOOP
+// scheme. After warm-up the only permitted allocations are the amortized
+// ones the functional model cannot avoid — mem.Store materializing a fresh
+// backing page as the OOP slice cursor advances — which average well under
+// one per transaction; the budget of 2 leaves headroom for that without
+// letting a per-transaction map or slice allocation sneak back in.
+func TestTxHotPathAllocs(t *testing.T) {
+	cfg := DefaultConfig(SchemeHOOP)
+	cfg.Cores, cfg.Threads, cfg.Cache.Cores = 1, 1, 1
+	cfg.Ctrl.Agents = 3
+	cfg.NVM.Capacity = 4 << 30
+	cfg.OOPBytes = 128 << 20
+	cfg.Hoop.CommitLogBytes = 8 << 20
+	sys, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := sys.NewEnv(0)
+	for i := 0; i < 100; i++ {
+		env.TxBegin()
+		for w := 0; w < 4; w++ {
+			env.WriteWord(mem.PAddr(0x1000+w*8), uint64(i))
+		}
+		env.TxEnd()
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		env.TxBegin()
+		for w := 0; w < 4; w++ {
+			env.WriteWord(mem.PAddr(0x1000+w*8), 7)
+		}
+		env.TxEnd()
+	})
+	if allocs > 2 {
+		t.Fatalf("transaction hot path allocates %v times per tx, budget is 2", allocs)
+	}
+}

@@ -17,6 +17,12 @@ type Env struct {
 	sys    *System
 	thread int
 	core   int
+	// Scratch word buffers for ReadWord/WriteWord. A stack buffer would
+	// escape through the scheme/view interface calls and cost one heap
+	// allocation per access; the Env is thread-private, and every callee
+	// copies what it keeps, so reuse is safe.
+	rbuf [mem.WordSize]byte
+	wbuf [mem.WordSize]byte
 }
 
 // NewEnv binds an environment to thread t (thread t runs on core t).
@@ -123,9 +129,8 @@ func (e *Env) Read(addr mem.PAddr, buf []byte) {
 
 // ReadWord loads the 8-byte word at addr.
 func (e *Env) ReadWord(addr mem.PAddr) uint64 {
-	var b [mem.WordSize]byte
-	e.Read(addr, b[:])
-	return leU64(b[:])
+	e.Read(addr, e.rbuf[:])
+	return leU64(e.rbuf[:])
 }
 
 // Write performs a transactional store of data at addr. It must be called
@@ -164,9 +169,16 @@ func (e *Env) Write(addr mem.PAddr, data []byte) {
 
 // WriteWord stores the 8-byte word v at addr.
 func (e *Env) WriteWord(addr mem.PAddr, v uint64) {
-	var b [mem.WordSize]byte
-	putLE64(b[:], v)
-	e.Write(addr, b[:])
+	if e.sys.tel.Enabled(telemetry.KindStore) {
+		// Store events carry the written bytes, and sinks may retain the
+		// event past Emit; give the traced path its own buffer.
+		var b [mem.WordSize]byte
+		putLE64(b[:], v)
+		e.Write(addr, b[:])
+		return
+	}
+	putLE64(e.wbuf[:], v)
+	e.Write(addr, e.wbuf[:])
 }
 
 // access simulates the cache behaviour of touching [addr, addr+size).

@@ -1,0 +1,69 @@
+package hoop
+
+import (
+	"testing"
+
+	"hoop/internal/mem"
+	"hoop/internal/sim"
+)
+
+// TestStoreSteadyStateZeroAlloc locks the scheme-level store path to zero
+// allocations in steady state: once a transaction's words are resident in
+// the per-controller packing buffer and the line table, re-storing them
+// (the coalescing path of §III-B) must not touch the heap — no map
+// insertions, no per-store scratch.
+func TestStoreSteadyStateZeroAlloc(t *testing.T) {
+	s, _ := testSchemeMC(t, 1, 1)
+	var buf [mem.WordSize]byte
+	now := sim.Time(0)
+	tx, now := s.TxBegin(0, now)
+	// First touch: the words enter the packing buffer and line table.
+	for w := 0; w < 4; w++ {
+		now = s.Store(0, tx, mem.PAddr(0x1000+w*8), buf[:], now)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		for w := 0; w < 4; w++ {
+			now = s.Store(0, tx, mem.PAddr(0x1000+w*8), buf[:], now)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state Store allocates %v times, want 0", allocs)
+	}
+	s.TxEnd(0, tx, now)
+}
+
+// TestTxCycleSteadyStateAllocs locks the whole scheme-level transaction
+// cycle (TxBegin + stores + TxEnd) after warm-up. The per-commit state —
+// participant scratch, pending-commit slots, block pair-lists — is reused
+// across transactions, so the cycle itself is allocation-free; only the
+// commit-log ring and the pending list growing toward their first GC can
+// allocate, and the warm-up plus periodic ForceGC below keeps both at
+// capacity.
+func TestTxCycleSteadyStateAllocs(t *testing.T) {
+	s, _ := testSchemeMC(t, 1, 1)
+	var buf [mem.WordSize]byte
+	now := sim.Time(0)
+	cycle := func(v byte) {
+		tx, n := s.TxBegin(0, now)
+		now = n
+		buf[0] = v
+		for w := 0; w < 4; w++ {
+			now = s.Store(0, tx, mem.PAddr(0x1000+w*8), buf[:], now)
+		}
+		now = s.TxEnd(0, tx, now)
+	}
+	for i := 0; i < 100; i++ {
+		cycle(byte(i))
+		if i%32 == 31 {
+			s.ForceGC(0)
+		}
+	}
+	s.ForceGC(0)
+	allocs := testing.AllocsPerRun(100, func() {
+		cycle(1)
+	})
+	s.ForceGC(0)
+	if allocs > 1 {
+		t.Fatalf("steady-state transaction cycle allocates %v times per tx, budget is 1", allocs)
+	}
+}

@@ -55,7 +55,7 @@ func (s *Scheme) SyntheticFill(numTxs, wordsPerTx int, addrSpace uint64, seed ui
 			}
 			var last mem.PAddr
 			nsl := 0
-			blocks := make(map[int]int, 4)
+			var blocks []blockCount
 			for w := 0; w < len(perMC[m]); w += WordsPerSlice {
 				var ds DataSlice
 				cnt := len(perMC[m]) - w
@@ -74,7 +74,7 @@ func (s *Scheme) SyntheticFill(numTxs, wordsPerTx int, addrSpace uint64, seed ui
 				enc := ds.Encode()
 				store.Write(a, enc[:])
 				s.blocks[blk].live++
-				blocks[blk]++
+				blocks = addBlockCount(blocks, blk)
 				last = a
 				nsl++
 				filled += SliceSize
@@ -88,10 +88,12 @@ func (s *Scheme) SyntheticFill(numTxs, wordsPerTx int, addrSpace uint64, seed ui
 				return filled, fmt.Errorf("hoop: controller %d commit-log ring exhausted during fill", m)
 			}
 			s.appendCommitRec(m, seq, tx, last, flags)
-			s.pending = append(s.pending, pendingTx{seq: seq, tx: tx, last: last, blocks: blocks, words: len(perMC[m])})
-			for b, n := range blocks {
-				s.blocks[b].live -= n
-				s.blocks[b].pending += n
+			p := s.appendPending()
+			p.seq, p.tx, p.last, p.words = seq, tx, last, len(perMC[m])
+			p.blocks = append(p.blocks[:0], blocks...)
+			for _, bc := range blocks {
+				s.blocks[bc.block].live -= bc.n
+				s.blocks[bc.block].pending += bc.n
 			}
 		}
 	}

@@ -1,7 +1,7 @@
 package hoop
 
 import (
-	"sort"
+	"slices"
 
 	"hoop/internal/mem"
 	"hoop/internal/sim"
@@ -58,15 +58,15 @@ func (s *Scheme) runGC(start sim.Time, onDemand bool) sim.Time {
 
 		// Lines 5–19: reverse-time-order scan with coalescing. The first
 		// value seen for a word during the reverse scan is the newest.
-		type wordVal struct {
-			val [mem.WordSize]byte
-		}
-		h := make(map[mem.PAddr]wordVal)
+		// s.gcWords is the pass-scoped coalescing table, epoch-cleared and
+		// reused so a steady GC cadence performs no allocation.
+		h := &s.gcWords
+		h.Clear()
 		var modified, uncoalesced int64
 		store := s.ctx.Dev.Store()
 		var raw [SliceSize]byte
 		for i := len(s.pending) - 1; i >= 0; i-- {
-			p := s.pending[i]
+			p := &s.pending[i]
 			for a := p.last; a != 0; {
 				store.Read(a, raw[:])
 				t = sim.MaxTime(t, s.ctx.Ctrl.Read(a, SliceSize, arr))
@@ -79,8 +79,10 @@ func (s *Scheme) runGC(start sim.Time, onDemand bool) sim.Time {
 				// reverse order keeps the newest value.
 				for j := ds.Count - 1; j >= 0; j-- {
 					modified += mem.WordSize
-					if _, ok := h[ds.Addrs[j]]; !ok {
-						h[ds.Addrs[j]] = wordVal{val: ds.Words[j]}
+					before := h.Len()
+					wv := h.Ref(uint64(ds.Addrs[j]))
+					if h.Len() != before {
+						*wv = ds.Words[j]
 					} else if s.cfg.DisableCoalescing {
 						// Ablation: write the stale version home too (the
 						// newest still lands through the coalesced set, so
@@ -95,19 +97,17 @@ func (s *Scheme) runGC(start sim.Time, onDemand bool) sim.Time {
 
 		// Lines 20–27: migrate the coalesced set home, one write per home
 		// line, smallest-address first for deterministic device timing.
-		words := make([]mem.PAddr, 0, len(h))
-		for a := range h {
-			words = append(words, a)
-		}
-		sort.Slice(words, func(i, j int) bool { return words[i] < words[j] })
+		words := h.Keys(s.gcAddrs[:0])
+		s.gcAddrs = words
+		slices.Sort(words)
 
 		var migrated int64
 		for i := 0; i < len(words); {
-			lineAddr := mem.LineAddr(words[i])
+			lineAddr := mem.LineAddr(mem.PAddr(words[i]))
 			j := i
-			for j < len(words) && mem.LineAddr(words[j]) == lineAddr {
-				wv := h[words[j]]
-				store.Write(words[j], wv.val[:])
+			for j < len(words) && mem.LineAddr(mem.PAddr(words[j])) == lineAddr {
+				wv, _ := h.Get(words[j])
+				store.Write(mem.PAddr(words[j]), wv[:])
 				j++
 			}
 			n := (j - i) * mem.WordSize
@@ -117,11 +117,9 @@ func (s *Scheme) runGC(start sim.Time, onDemand bool) sim.Time {
 			s.evbuf.add(line)
 			// The home copy is now the newest version unless a live
 			// transaction has written the line since.
-			if owner, ok := s.lastWriter[line]; ok {
-				if _, live := s.activeTx[owner]; !live {
-					delete(s.dirtyWords, line)
-					delete(s.lastWriter, line)
-					delete(s.lineSlice, line)
+			if ls, ok := s.lines.Get(line); ok {
+				if _, live := s.liveCore(ls.writer); !live {
+					s.lines.Delete(line)
 				}
 			}
 			i = j
@@ -133,9 +131,9 @@ func (s *Scheme) runGC(start sim.Time, onDemand bool) sim.Time {
 		s.statGCCoalesced.Add(modified - migrated)
 
 		// Block accounting: the migrated transactions' slices are dead.
-		for _, p := range s.pending {
-			for b, n := range p.blocks {
-				s.blocks[b].pending -= n
+		for i := range s.pending {
+			for _, bc := range s.pending[i].blocks {
+				s.blocks[bc.block].pending -= bc.n
 			}
 		}
 		s.pending = s.pending[:0]
@@ -154,14 +152,19 @@ func (s *Scheme) runGC(start sim.Time, onDemand bool) sim.Time {
 
 	// Drop mapping-table entries whose data is now (at or below the
 	// watermark) guaranteed to be in the home region. Entries owned by
-	// still-live transactions survive.
-	var stale []uint64
-	for line, e := range s.table.entries {
+	// still-live transactions survive. (u64map iteration is deterministic,
+	// but the sort stays: removals must happen in address order so the
+	// telemetry stream and any future timing per removal are
+	// history-independent.)
+	stale := s.gcStale[:0]
+	s.table.entries.Range(func(line uint64, e *mapEntry) bool {
 		if e.ownerTx == 0 && e.seq <= s.watermark {
 			stale = append(stale, line)
 		}
-	}
-	sort.Slice(stale, func(i, j int) bool { return stale[i] < stale[j] })
+		return true
+	})
+	s.gcStale = stale
+	slices.Sort(stale)
 	for _, line := range stale {
 		if e, ok := s.table.remove(line); ok {
 			s.blocks[e.block].mapRefs--

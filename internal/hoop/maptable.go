@@ -3,6 +3,7 @@ package hoop
 import (
 	"hoop/internal/mem"
 	"hoop/internal/persist"
+	"hoop/internal/u64map"
 )
 
 // mapEntry is one record of the hash-based physical-to-physical address
@@ -36,11 +37,15 @@ const condenseShift = 2
 // without it. With condense enabled, entries for neighbouring lines share
 // one hardware entry's budget (the paper's future-work locality
 // optimization), so the same byte budget indexes a larger reach.
+//
+// It is the simulation of a hardware hash table, so it is backed by one:
+// u64map's open-addressed table gives each lookup/insert/remove a single
+// probe sequence with no allocation, and reset reuses the slot array.
 type mapTable struct {
-	entries  map[uint64]mapEntry // keyed by home line index
-	capacity int                 // maximum hardware entries (budget / entryBytes)
+	entries  u64map.Map[mapEntry] // keyed by home line index
+	capacity int                  // maximum hardware entries (budget / entryBytes)
 	condense bool
-	groups   map[uint64]int // 4-line group -> member count (condense mode)
+	groups   u64map.Map[int32] // 4-line group -> member count (condense mode)
 }
 
 func newMapTable(bytes int, condense bool) *mapTable {
@@ -48,59 +53,51 @@ func newMapTable(bytes int, condense bool) *mapTable {
 	if cap < 1 {
 		cap = 1
 	}
-	t := &mapTable{entries: make(map[uint64]mapEntry), capacity: cap, condense: condense}
-	if condense {
-		t.groups = make(map[uint64]int)
-	}
-	return t
+	return &mapTable{capacity: cap, condense: condense}
 }
 
 func (t *mapTable) lookup(line uint64) (mapEntry, bool) {
-	e, ok := t.entries[line]
-	return e, ok
+	return t.entries.Get(line)
 }
 
 func (t *mapTable) insert(line uint64, e mapEntry) {
-	if t.condense {
-		if _, existed := t.entries[line]; !existed {
-			t.groups[line>>condenseShift]++
-		}
+	before := t.entries.Len()
+	t.entries.Put(line, e)
+	if t.condense && t.entries.Len() != before {
+		g := t.groups.Ref(line >> condenseShift)
+		*g++
 	}
-	t.entries[line] = e
 }
 
 func (t *mapTable) remove(line uint64) (mapEntry, bool) {
-	e, ok := t.entries[line]
-	if ok {
-		delete(t.entries, line)
-		if t.condense {
-			g := line >> condenseShift
-			if t.groups[g]--; t.groups[g] == 0 {
-				delete(t.groups, g)
-			}
+	e, ok := t.entries.Delete(line)
+	if ok && t.condense {
+		g := line >> condenseShift
+		c := t.groups.Ref(g)
+		*c--
+		if *c == 0 {
+			t.groups.Delete(g)
 		}
 	}
 	return e, ok
 }
 
-func (t *mapTable) len() int { return len(t.entries) }
+func (t *mapTable) len() int { return t.entries.Len() }
 
 // hwEntries reports the hardware-entry occupancy: one per line normally,
 // one per 4-line group with condensing.
 func (t *mapTable) hwEntries() int {
 	if t.condense {
-		return len(t.groups)
+		return t.groups.Len()
 	}
-	return len(t.entries)
+	return t.entries.Len()
 }
 
 func (t *mapTable) overCap() bool { return t.hwEntries() >= t.capacity }
 
 func (t *mapTable) reset() {
-	t.entries = make(map[uint64]mapEntry)
-	if t.condense {
-		t.groups = make(map[uint64]int)
-	}
+	t.entries.Clear()
+	t.groups.Clear()
 }
 
 // evictBuffer models the 128 KB eviction buffer (§III-C): a FIFO of cache
@@ -108,7 +105,7 @@ func (t *mapTable) reset() {
 // racing with a mapping-table removal still finds fresh data without an NVM
 // access. Like the mapping table it is volatile.
 type evictBuffer struct {
-	lines    map[uint64]struct{}
+	lines    u64map.Set
 	fifo     []uint64
 	head     int
 	capacity int
@@ -123,43 +120,42 @@ func newEvictBuffer(bytes int) *evictBuffer {
 	if cap < 1 {
 		cap = 1
 	}
-	return &evictBuffer{lines: make(map[uint64]struct{}), capacity: cap}
+	return &evictBuffer{capacity: cap}
 }
 
 func (b *evictBuffer) contains(line uint64) bool {
-	_, ok := b.lines[line]
-	return ok
+	return b.lines.Contains(line)
 }
 
 // add inserts a line, displacing the oldest entry once full.
 func (b *evictBuffer) add(line uint64) {
-	if _, ok := b.lines[line]; ok {
+	if b.lines.Contains(line) {
 		return
 	}
-	if len(b.lines) >= b.capacity {
+	if b.lines.Len() >= b.capacity {
 		// Drop the oldest still-present entry.
 		for b.head < len(b.fifo) {
 			old := b.fifo[b.head]
 			b.head++
-			if _, ok := b.lines[old]; ok {
-				delete(b.lines, old)
+			if b.lines.Delete(old) {
 				break
 			}
 		}
 		// Compact the fifo slab occasionally.
 		if b.head > 4096 && b.head*2 > len(b.fifo) {
-			b.fifo = append([]uint64(nil), b.fifo[b.head:]...)
+			n := copy(b.fifo, b.fifo[b.head:])
+			b.fifo = b.fifo[:n]
 			b.head = 0
 		}
 	}
-	b.lines[line] = struct{}{}
+	b.lines.Add(line)
 	b.fifo = append(b.fifo, line)
 }
 
 func (b *evictBuffer) reset() {
-	b.lines = make(map[uint64]struct{})
-	b.fifo = nil
+	b.lines.Clear()
+	b.fifo = b.fifo[:0]
 	b.head = 0
 }
 
-func (b *evictBuffer) len() int { return len(b.lines) }
+func (b *evictBuffer) len() int { return b.lines.Len() }

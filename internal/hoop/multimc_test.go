@@ -127,8 +127,8 @@ func TestMultiMCBlockStriping(t *testing.T) {
 	// must land in the corresponding block stripes.
 	writeTx(s, ctx, 0, map[mem.PAddr]uint64{0x00: 1}) // MC 0
 	writeTx(s, ctx, 0, map[mem.PAddr]uint64{0x40: 2}) // MC 1
-	b0 := s.lineSlice[0]
-	b1 := s.lineSlice[1]
+	b0 := s.sliceOf(0)
+	b1 := s.sliceOf(1)
 	if blockOf(s.blockBase, b0)%2 != 0 {
 		t.Fatalf("MC 0 slice landed in block %d", blockOf(s.blockBase, b0))
 	}

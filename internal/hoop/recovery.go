@@ -215,7 +215,7 @@ func (s *Scheme) recoverInternal(threads int) (sim.Duration, RecoveryReport, err
 	for m := range s.active {
 		s.active[m] = -1
 	}
-	s.pending = nil
+	s.pending = s.pending[:0]
 	s.watermark = maxSeq
 	s.nextSeq = maxSeq + 1
 	for m := range s.logs {

@@ -8,6 +8,7 @@ import (
 	"hoop/internal/persist"
 	"hoop/internal/sim"
 	"hoop/internal/telemetry"
+	"hoop/internal/u64map"
 )
 
 func popcount8(m uint8) int { return bits.OnesCount8(m) }
@@ -87,22 +88,31 @@ type Scheme struct {
 	freeBlocks int
 
 	// Volatile controller state (lost on crash).
-	cores      []coreState
-	table      *mapTable
-	evbuf      *evictBuffer
-	activeTx   map[persist.TxID]int // live tx -> core
-	lastWriter map[uint64]persist.TxID
-	dirtyWords map[uint64]uint8 // home line -> words modified since last migration
-	// lineSlice tracks, per home line, the most recent memory slice
-	// carrying any of its words — the OOP-region address a mapping-table
-	// entry points reads at when the line is evicted.
-	lineSlice map[uint64]mem.PAddr
+	cores []coreState
+	table *mapTable
+	evbuf *evictBuffer
+	// lines is the controller's per-home-line write tracking, one entry per
+	// line with un-migrated words (see lineState). It replaces what used to
+	// be three parallel maps (last writer, dirty-word mask, newest slice);
+	// the open-addressed table keeps Store at one probe with no
+	// allocations, and GC clears entries without freeing the backing array.
+	lines     u64map.Map[lineState]
 	pending   []pendingTx // committed, not yet migrated (commit order)
 	watermark uint64      // highest migrated commit sequence
+
+	// Reused hot-path scratch (contents valid only within one call).
+	partScratch []int // TxEnd participant list
 
 	nextGC      sim.Time
 	gcBusyUntil sim.Time
 	gcAgent     int
+
+	// GC working state, reused across passes (epoch-cleared, never freed):
+	// the coalescing table (newest value per word seen in the reverse scan)
+	// and the key scratch slices.
+	gcWords u64map.Map[[mem.WordSize]byte]
+	gcAddrs []uint64
+	gcStale []uint64
 
 	// Interned counter handles for per-event accounting (slice flushes,
 	// commits, read-path and GC traffic fire on every hot-path event).
@@ -123,33 +133,97 @@ type Scheme struct {
 	gcMigratedBytes int64
 }
 
+// lineState is the per-home-line tracking record: which live words the
+// home copy is missing (mask), which transaction wrote them last (writer),
+// and the newest durable memory slice carrying any of them (slice; zero
+// until the first flush — slice addresses always lie inside the OOP
+// region, so zero is free as the "not yet flushed" sentinel). An entry
+// exists iff mask is non-zero; the GC deletes it when the words migrate
+// home.
+type lineState struct {
+	writer persist.TxID
+	slice  mem.PAddr
+	mask   uint8
+}
+
 // coreState is one core's in-flight transaction context: its share of the
-// OOP data buffer plus per-controller chain-building state.
+// OOP data buffer plus per-controller chain-building state. The struct is
+// reused across transactions: TxBegin rewinds it in place (the mc slice is
+// allocated once at construction).
 type coreState struct {
-	tx      persist.TxID
+	tx      persist.TxID // zero between transactions
 	mc      []coreMCState
 	txWords int
 	evicted []uint64 // home lines evicted while this tx was live
 }
 
+// reset rewinds the core for a new transaction, keeping all capacity.
+func (cs *coreState) reset(tx persist.TxID) {
+	cs.tx = tx
+	cs.txWords = 0
+	cs.evicted = cs.evicted[:0]
+	for m := range cs.mc {
+		ms := &cs.mc[m]
+		ms.bufN = 0
+		ms.lastSlice = 0
+		ms.nslices = 0
+		ms.txBlocks = ms.txBlocks[:0]
+	}
+}
+
 // coreMCState is the slice-building state toward one memory controller.
+// The packing buffer is the hardware's per-core OOP data-buffer group: at
+// most WordsPerSlice words, held inline so filling it is pure array writes
+// (same-word coalescing is a linear scan of at most bufN entries — cheaper
+// than any hash at this size).
 type coreMCState struct {
-	buf       []persist.WordUpdate
-	bufIdx    map[mem.PAddr]int
+	buf       [WordsPerSlice]persist.WordUpdate
+	bufN      int
 	lastSlice mem.PAddr
 	nslices   int
-	txBlocks  map[int]int // block -> live slices from this tx
+	txBlocks  []blockCount // live slices per block from this tx (reused)
+}
+
+// blockCount is one (block, slice-count) pair; a transaction touches very
+// few blocks, so a scanned pair list beats a map.
+type blockCount struct {
+	block int
+	n     int
+}
+
+// addBlockCount bumps blk's count in the pair list, appending on first use.
+func addBlockCount(bcs []blockCount, blk int) []blockCount {
+	for i := range bcs {
+		if bcs[i].block == blk {
+			bcs[i].n++
+			return bcs
+		}
+	}
+	return append(bcs, blockCount{block: blk, n: 1})
 }
 
 // pendingTx is one committed slice chain awaiting migration (a multi-
 // controller transaction contributes one entry per participant chain, all
-// sharing the transaction's commit sequence).
+// sharing the transaction's commit sequence). Entries live in s.pending,
+// which is truncated — not freed — by the GC, so each slot's blocks slice
+// is reused across epochs.
 type pendingTx struct {
 	seq    uint64
 	tx     persist.TxID
 	last   mem.PAddr
-	blocks map[int]int
+	blocks []blockCount
 	words  int
+}
+
+// appendPending extends s.pending by one slot, reusing a truncated slot's
+// blocks capacity when one is available, and returns the slot.
+func (s *Scheme) appendPending() *pendingTx {
+	if len(s.pending) < cap(s.pending) {
+		s.pending = s.pending[:len(s.pending)+1]
+	} else {
+		s.pending = append(s.pending, pendingTx{})
+	}
+	return &s.pending[len(s.pending)-1]
 }
 
 // Latency constants for controller-internal actions.
@@ -189,10 +263,6 @@ func New(ctx persist.Context, cfg Config) (*Scheme, error) {
 		cores:      make([]coreState, ctx.Cores),
 		table:      newMapTable(cfg.MapTableBytes, cfg.CondenseMapping),
 		evbuf:      newEvictBuffer(cfg.EvictBufBytes),
-		activeTx:   make(map[persist.TxID]int),
-		lastWriter: make(map[uint64]persist.TxID),
-		dirtyWords: make(map[uint64]uint8),
-		lineSlice:  make(map[uint64]mem.PAddr),
 		nextGC:     cfg.GCPeriod,
 		gcAgent:    ctx.Cores, // agent slot after the cores
 
@@ -211,7 +281,32 @@ func New(ctx persist.Context, cfg Config) (*Scheme, error) {
 	for c := range s.active {
 		s.active[c] = -1
 	}
+	for i := range s.cores {
+		s.cores[i].mc = make([]coreMCState, nMC)
+	}
 	return s, nil
+}
+
+// liveCore returns the core currently running tx, if any. Live
+// transactions are exactly the cores' active slots, so a scan of the (at
+// most 32) cores replaces the old live-transaction map.
+func (s *Scheme) liveCore(tx persist.TxID) (int, bool) {
+	if tx == 0 {
+		return 0, false
+	}
+	for c := range s.cores {
+		if s.cores[c].tx == tx {
+			return c, true
+		}
+	}
+	return 0, false
+}
+
+// sliceOf reports the newest durable slice carrying words of the given
+// home line (zero when none); used by the eviction path and tests.
+func (s *Scheme) sliceOf(line uint64) mem.PAddr {
+	ls, _ := s.lines.Get(line)
+	return ls.slice
 }
 
 // mcOf routes a home address to its owning memory controller
@@ -244,13 +339,7 @@ func (s *Scheme) Properties() persist.Properties {
 // processor's transaction state bit.
 func (s *Scheme) TxBegin(core int, now sim.Time) (persist.TxID, sim.Time) {
 	tx := s.alloc.Next()
-	s.activeTx[tx] = core
-	cs := &s.cores[core]
-	*cs = coreState{tx: tx, mc: make([]coreMCState, s.nMC)}
-	for m := range cs.mc {
-		cs.mc[m].bufIdx = make(map[mem.PAddr]int, WordsPerSlice)
-		cs.mc[m].txBlocks = make(map[int]int, 2)
-	}
+	s.cores[core].reset(tx)
 	return tx, now
 }
 
@@ -263,24 +352,39 @@ func (s *Scheme) Store(core int, tx persist.TxID, addr mem.PAddr, val []byte, no
 	if cs.tx != tx {
 		panic("hoop: store outside the core's active transaction")
 	}
-	for _, w := range persist.WordsOf(addr, val) {
-		line := mem.LineIndex(w.Addr)
-		s.dirtyWords[line] |= 1 << uint(mem.WordInLine(w.Addr))
-		s.lastWriter[line] = tx
-		m := s.mcOf(w.Addr)
+	if !mem.IsWordAligned(addr) || len(val)%mem.WordSize != 0 {
+		panic("persist: store must be word-aligned")
+	}
+	flushAt := WordsPerSlice
+	if s.cfg.DisablePacking {
+		flushAt = 1 // ablation: one slice per word update
+	}
+	// Word-at-a-time split done inline (persist.WordsOf allocates its
+	// result; this loop is under every simulated store).
+	for off := 0; off < len(val); off += mem.WordSize {
+		wAddr := addr + mem.PAddr(off)
+		line := mem.LineIndex(wAddr)
+		ls := s.lines.Ref(line)
+		ls.mask |= 1 << uint(mem.WordInLine(wAddr))
+		ls.writer = tx
+		m := s.mcOf(wAddr)
 		ms := &cs.mc[m]
-		if i, ok := ms.bufIdx[w.Addr]; ok {
-			ms.buf[i].Val = w.Val // same-word update coalesces in the buffer
-		} else {
-			ms.bufIdx[w.Addr] = len(ms.buf)
-			ms.buf = append(ms.buf, w)
+		found := false
+		for i := 0; i < ms.bufN; i++ {
+			if ms.buf[i].Addr == wAddr {
+				copy(ms.buf[i].Val[:], val[off:off+mem.WordSize]) // same-word update coalesces in the buffer
+				found = true
+				break
+			}
+		}
+		if !found {
+			w := &ms.buf[ms.bufN]
+			w.Addr = wAddr
+			copy(w.Val[:], val[off:off+mem.WordSize])
+			ms.bufN++
 			cs.txWords++
 		}
-		flushAt := WordsPerSlice
-		if s.cfg.DisablePacking {
-			flushAt = 1 // ablation: one slice per word update
-		}
-		if len(ms.buf) >= flushAt {
+		if ms.bufN >= flushAt {
 			now = s.flushSlice(core, m, now)
 		}
 	}
@@ -292,14 +396,14 @@ func (s *Scheme) Store(core int, tx persist.TxID, addr mem.PAddr, val []byte, no
 // packing, Figure 3).
 func (s *Scheme) flushSlice(core, m int, now sim.Time) sim.Time {
 	ms := &s.cores[core].mc[m]
-	if len(ms.buf) == 0 {
+	if ms.bufN == 0 {
 		return now
 	}
 	var ds DataSlice
-	ds.Count = len(ms.buf)
-	for i, w := range ms.buf {
-		ds.Words[i] = w.Val
-		ds.Addrs[i] = w.Addr
+	ds.Count = ms.bufN
+	for i := 0; i < ms.bufN; i++ {
+		ds.Words[i] = ms.buf[i].Val
+		ds.Addrs[i] = ms.buf[i].Addr
 	}
 	ds.Prev = ms.lastSlice
 	ds.First = ms.nslices == 0
@@ -323,15 +427,14 @@ func (s *Scheme) flushSlice(core, m int, now sim.Time) sim.Time {
 		})
 	}
 	for i := 0; i < ds.Count; i++ {
-		s.lineSlice[mem.LineIndex(ds.Addrs[i])] = addr
+		s.lines.Ref(mem.LineIndex(ds.Addrs[i])).slice = addr
 	}
 
 	ms.lastSlice = addr
 	ms.nslices++
-	ms.txBlocks[blk]++
+	ms.txBlocks = addBlockCount(ms.txBlocks, blk)
 	s.blocks[blk].live++
-	ms.buf = ms.buf[:0]
-	clear(ms.bufIdx)
+	ms.bufN = 0
 	return now
 }
 
@@ -406,15 +509,16 @@ func (s *Scheme) TxEnd(core int, tx persist.TxID, now sim.Time) sim.Time {
 		panic("hoop: TxEnd for inactive transaction")
 	}
 	// Flush every controller's tail slice and find the participants.
-	var participants []int
+	participants := s.partScratch[:0]
 	for m := range cs.mc {
-		if len(cs.mc[m].buf) > 0 {
+		if cs.mc[m].bufN > 0 {
 			now = s.flushSlice(core, m, now)
 		}
 		if cs.mc[m].nslices > 0 {
 			participants = append(participants, m)
 		}
 	}
+	s.partScratch = participants[:0]
 	if len(participants) > 0 {
 		now = s.ctx.Ctrl.Drain(core, now)
 		// Ring pressure: every participant ring must have a free slot.
@@ -451,13 +555,13 @@ func (s *Scheme) TxEnd(core int, tx persist.TxID, now sim.Time) sim.Time {
 		}
 		for _, m := range participants {
 			ms := &cs.mc[m]
-			s.pending = append(s.pending, pendingTx{
-				seq: seq, tx: tx, last: ms.lastSlice, blocks: ms.txBlocks, words: cs.txWords,
-			})
+			p := s.appendPending()
+			p.seq, p.tx, p.last, p.words = seq, tx, ms.lastSlice, cs.txWords
+			p.blocks = append(p.blocks[:0], ms.txBlocks...)
 			cs.txWords = 0 // attribute the word count to one entry only
-			for b, n := range ms.txBlocks {
-				s.blocks[b].live -= n
-				s.blocks[b].pending += n
+			for _, bc := range ms.txBlocks {
+				s.blocks[bc.block].live -= bc.n
+				s.blocks[bc.block].pending += bc.n
 			}
 		}
 		// Resolve mapping entries created by evictions while this tx was
@@ -470,8 +574,7 @@ func (s *Scheme) TxEnd(core int, tx persist.TxID, now sim.Time) sim.Time {
 			}
 		}
 	}
-	delete(s.activeTx, tx)
-	*cs = coreState{}
+	cs.tx = 0 // buffers are empty (flushed above); reset(tx) rewinds the rest
 	s.statTxCommitted.Inc()
 	return now
 }
@@ -541,32 +644,28 @@ func (s *Scheme) Evict(core int, ev cache.Eviction, now sim.Time) sim.Time {
 		s.ctx.Ctrl.PostWrite(core, lineAddr, mem.LineSize, now)
 		return now
 	}
-	mask := s.dirtyWords[line]
-	if mask == 0 {
+	ls, tracked := s.lines.Get(line)
+	if !tracked || ls.mask == 0 {
 		// Every word of this line has been migrated home since its last
 		// store: the cache copy equals the home copy and can be dropped.
 		return now
 	}
-	entry := mapEntry{mask: mask, count: popcount8(mask)}
-	if owner, ok := s.lastWriter[line]; ok {
-		if oc, live := s.activeTx[owner]; live {
-			// The newest writer is still running: make sure its buffered
-			// words are durable (flush the partial slice), and keep the
-			// entry until that transaction commits and migrates.
-			m := s.mcOf(lineAddr)
-			if _, flushed := s.lineSlice[line]; !flushed || s.hasBufferedWords(oc, m, lineAddr) {
-				now = s.flushSlice(oc, m, now)
-			}
-			entry.ownerTx = owner
-			s.cores[oc].evicted = append(s.cores[oc].evicted, line)
-		} else {
-			entry.seq = s.nextSeq - 1
+	entry := mapEntry{mask: ls.mask, count: popcount8(ls.mask)}
+	if oc, live := s.liveCore(ls.writer); live {
+		// The newest writer is still running: make sure its buffered
+		// words are durable (flush the partial slice), and keep the
+		// entry until that transaction commits and migrates.
+		m := s.mcOf(lineAddr)
+		if ls.slice == 0 || s.hasBufferedWords(oc, m, lineAddr) {
+			now = s.flushSlice(oc, m, now)
+			ls, _ = s.lines.Get(line) // the flush updated the newest slice
 		}
+		entry.ownerTx = ls.writer
+		s.cores[oc].evicted = append(s.cores[oc].evicted, line)
 	} else {
 		entry.seq = s.nextSeq - 1
 	}
-	slice, ok := s.lineSlice[line]
-	if !ok {
+	if ls.slice == 0 {
 		// No durable slice carries this line's words (can only happen if
 		// the writer's buffer was empty after a crash-recovery race);
 		// fall back to dropping — the home region is authoritative.
@@ -575,8 +674,8 @@ func (s *Scheme) Evict(core int, ev cache.Eviction, now sim.Time) sim.Time {
 	if old, prev := s.table.remove(line); prev {
 		s.blocks[old.block].mapRefs--
 	}
-	entry.slice = slice
-	entry.block = blockOf(s.blockBase, slice)
+	entry.slice = ls.slice
+	entry.block = blockOf(s.blockBase, ls.slice)
 	s.blocks[entry.block].mapRefs++
 	s.table.insert(line, entry)
 	if s.table.overCap() {
@@ -588,8 +687,9 @@ func (s *Scheme) Evict(core int, ev cache.Eviction, now sim.Time) sim.Time {
 // hasBufferedWords reports whether core's OOP data buffer toward
 // controller m still holds un-flushed words of the given cache line.
 func (s *Scheme) hasBufferedWords(core, m int, lineAddr mem.PAddr) bool {
-	for _, w := range s.cores[core].mc[m].buf {
-		if mem.LineAddr(w.Addr) == lineAddr {
+	ms := &s.cores[core].mc[m]
+	for i := 0; i < ms.bufN; i++ {
+		if mem.LineAddr(ms.buf[i].Addr) == lineAddr {
 			return true
 		}
 	}
@@ -611,15 +711,12 @@ func (s *Scheme) Tick(now sim.Time) {
 // cache, and all in-flight transaction state. NVM contents survive.
 func (s *Scheme) Crash() {
 	for i := range s.cores {
-		s.cores[i] = coreState{}
+		s.cores[i].reset(0)
 	}
 	s.table.reset()
 	s.evbuf.reset()
-	s.activeTx = make(map[persist.TxID]int)
-	s.lastWriter = make(map[uint64]persist.TxID)
-	s.dirtyWords = make(map[uint64]uint8)
-	s.lineSlice = make(map[uint64]mem.PAddr)
-	s.pending = nil
+	s.lines.Clear()
+	s.pending = s.pending[:0]
 	for m := range s.active {
 		s.active[m] = -1
 	}
