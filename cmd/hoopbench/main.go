@@ -26,13 +26,9 @@ func main() {
 	quick := flag.Bool("quick", false, "run reduced-size experiments (seconds instead of minutes)")
 	charts := flag.Bool("charts", false, "also render each grid as ASCII bar charts")
 	artifacts := flag.String("artifacts", "", "directory to write per-figure JSON artifacts into")
-	parallel := flag.Int("parallel", 0, "deprecated alias for -workers")
 	sections := flag.String("sections", strings.Join(harness.AllSections, ","),
 		"comma-separated experiment sections to run (extras: "+strings.Join(harness.ExtraSections, ", ")+")")
 	flag.Parse()
-	if common.Workers == 0 && *parallel != 0 {
-		common.Workers = *parallel
-	}
 	stopProfiles, err := common.StartProfiles()
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "hoopbench: %v\n", err)

@@ -59,6 +59,53 @@ func TestMarkerlessTraceIsOneCell(t *testing.T) {
 	}
 }
 
+const soakTrace = `{"cell":"router"}
+{"k":"ring_route","t":1000,"core":-1,"tx":1,"aux":0}
+{"k":"ring_route","t":2000,"core":-1,"tx":2,"aux":1}
+{"cell":"shard-000"}
+{"k":"tx_commit","t":500,"core":0,"tx":0,"aux":400}
+{"k":"shard_enqueue","t":1000,"core":0,"tx":1,"aux":0}
+{"k":"tx_commit","t":1200,"core":0,"tx":1,"aux":200}
+{"k":"shard_enqueue","t":2000,"core":0,"tx":3,"aux":100}
+{"k":"tx_commit","t":2400,"core":0,"tx":3,"aux":300}
+{"cell":"shard-001"}
+{"k":"shard_enqueue","t":2000,"core":0,"tx":2,"aux":0}
+{"k":"tx_commit","t":2500,"core":0,"tx":2,"aux":500}
+{"k":"shard_shed","t":3000,"core":0,"tx":4,"aux":900}
+`
+
+func TestSoakSummary(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-soak", writeTrace(t, soakTrace)}, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, needle := range []string{
+		"soak summary, 2 shards",
+		"2 ring-routed requests",
+		"shard-000", "shard-001",
+		"fleet: 3 admitted, 1 shed (25.0%)",
+	} {
+		if !strings.Contains(out, needle) {
+			t.Errorf("output missing %q:\n%s", needle, out)
+		}
+	}
+	// shard-000's pre-arrival commit (t=500, latency 400ps — the preload)
+	// must not count toward service latency: only the t>=1000 commits
+	// (200ps, 300ps) do, so 400ps appears nowhere in the summary.
+	if strings.Contains(out, "400ps") {
+		t.Errorf("preload commit leaked into service latency:\n%s", out)
+	}
+}
+
+func TestSoakRejectsNonSoakTrace(t *testing.T) {
+	var b strings.Builder
+	err := run([]string{"-soak", writeTrace(t, sampleTrace)}, &b)
+	if err == nil || !strings.Contains(err.Error(), "no shard-") {
+		t.Fatalf("non-soak trace accepted in -soak mode: %v", err)
+	}
+}
+
 func TestRejectsBadLines(t *testing.T) {
 	var b strings.Builder
 	err := run([]string{writeTrace(t, `{"k":"no-such-kind","t":1}`+"\n")}, &b)

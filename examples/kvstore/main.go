@@ -1,58 +1,129 @@
-// KVStore: run a YCSB-style key-value workload (Zipfian keys, 80% updates)
-// on an N-store-like storage engine, comparing HOOP against the paper's
-// five baselines on the same simulated machine — a miniature of Figures
-// 7–9.
+// KVStore: run a YCSB-style key-value load (Zipfian keys, update-heavy)
+// against the sharded service tier — N engine shards behind the jump-hash
+// ring, one persist-scheme instance per shard — comparing HOOP against the
+// paper's baselines on identical fleets. A miniature of `hoopd`, and the
+// integration smoke test for the internal/service API.
 //
-//	go run ./examples/kvstore [-txs 4000] [-val 512]
+//	go run ./examples/kvstore [-shards 4] [-keys 8192] [-duration 5ms]
 package main
 
 import (
 	"flag"
 	"fmt"
-	"log"
+	"io"
+	"os"
+	"time"
 
 	"hoop/internal/engine"
+	"hoop/internal/loadgen"
+	"hoop/internal/service"
 	"hoop/internal/sim"
-	"hoop/internal/workload"
 )
 
 func main() {
-	txs := flag.Int("txs", 4000, "transactions per scheme")
-	val := flag.Int("val", 512, "value size in bytes (512 or 1024 in the paper)")
-	flag.Parse()
-
-	fmt.Printf("YCSB (%dB values, 80%% updates, Zipfian) x %d txs on each scheme:\n\n", *val, *txs)
-	fmt.Printf("%-10s %12s %14s %14s %12s\n", "scheme", "tput (Ktx/s)", "avg latency", "NVM B/tx", "energy/tx")
-
-	type row struct {
-		name string
-		tput float64
-		lat  sim.Duration
-		bpt  float64
-		ept  float64
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "kvstore: %v\n", err)
+		os.Exit(1)
 	}
-	var rows []row
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("kvstore", flag.ContinueOnError)
+	shards := fs.Int("shards", 4, "engine shards per fleet")
+	keys := fs.Uint64("keys", 8192, "global keyspace size")
+	val := fs.Int("val", 64, "value size in bytes (word multiple)")
+	durStr := fs.String("duration", "5ms", "simulated load-burst length")
+	rate := fs.Float64("rate", 200000, "offered rate per shard (requests/second)")
+	seed := fs.Uint64("seed", 1, "run seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	d, err := time.ParseDuration(*durStr)
+	if err != nil {
+		return fmt.Errorf("-duration: %w", err)
+	}
+	horizon := sim.Duration(d.Nanoseconds()) * sim.Nanosecond
+
+	fmt.Fprintf(out, "update-heavy Zipfian burst over %d keys, %d shards, %v on each scheme:\n\n",
+		*keys, *shards, horizon)
+	fmt.Fprintf(out, "%-10s %12s %10s %10s %12s\n",
+		"scheme", "goodput/s", "p50", "p99", "NVM B/op")
+
 	for _, scheme := range engine.AllSchemes {
-		sys, err := engine.New(engine.DefaultConfig(scheme))
-		if err != nil {
-			log.Fatal(err)
+		if err := runFleet(out, scheme, *shards, *keys, *val, *rate, horizon, *seed); err != nil {
+			return fmt.Errorf("%s: %w", scheme, err)
 		}
-		runners := workload.YCSB(*val).Runners(sys, 99)
-		sys.ResetMemoryQueues()
-		before := sys.Snapshot()
-		sys.Run(runners, *txs)
-		win := sys.Snapshot().Delta(before)
-		rows = append(rows, row{
-			name: scheme,
-			tput: float64(win.Txs) / sim.Duration(win.Span).Seconds() / 1e3,
-			lat:  win.AvgTxLatency(),
-			bpt:  float64(win.Counter(sim.StatNVMBytesWritten)) / float64(win.Txs),
-			ept:  win.TotalEnergyPJ() / float64(win.Txs) / 1e3, // nJ
-		})
 	}
-	for _, r := range rows {
-		fmt.Printf("%-10s %12.0f %14v %14.0f %9.1f nJ\n", r.name, r.tput, r.lat, r.bpt, r.ept)
+	fmt.Fprintln(out, "\n(Ideal provides no crash consistency; every other scheme guarantees")
+	fmt.Fprintln(out, " that committed transactions survive power failure.)")
+	return nil
+}
+
+// runFleet soaks one scheme's fleet and prints its row.
+func runFleet(out io.Writer, scheme string, shards int, keys uint64, val int,
+	rate float64, horizon sim.Duration, seed uint64) error {
+	ec := engine.DefaultConfig(scheme)
+	ec.Threads = 1
+	ring := service.NewRing(shards)
+	svc, err := service.Open(service.Config{
+		Shards: shards,
+		Seed:   seed,
+		Engine: ec,
+		Handler: func(int) engine.ShardHandler {
+			h, err := service.NewKVHandler(service.KVConfig{Keys: keys, ValBytes: val, Ring: &ring})
+			if err != nil {
+				panic(err)
+			}
+			return h
+		},
+	})
+	if err != nil {
+		return err
 	}
-	fmt.Println("\n(Ideal provides no crash consistency; every other scheme guarantees")
-	fmt.Println(" that committed transactions survive power failure.)")
+	defer svc.Close()
+	svc.Serve()
+	svc.Quiesce() // barrier: preload done, measure only the burst
+
+	nvmWritten := func() int64 {
+		var total int64
+		for i := 0; i < shards; i++ {
+			total += svc.Shard(i).System().Snapshot().Counter(sim.StatNVMBytesWritten)
+		}
+		return total
+	}
+	before := nvmWritten()
+
+	st, err := loadgen.NewStream(loadgen.StreamConfig{
+		Seed:    seed,
+		Keys:    keys,
+		Rate:    rate * float64(shards),
+		Tenants: []loadgen.Tenant{loadgen.TenantUpdateHeavy},
+		Horizon: horizon,
+	})
+	if err != nil {
+		return err
+	}
+	for {
+		req, ok := st.Next()
+		if !ok {
+			break
+		}
+		svc.Submit(req.Arrival, req.Kind, req.Key, req.Aux)
+	}
+	svc.Quiesce()
+
+	sojourn := svc.MergedSojourn()
+	executed := svc.Executed()
+	span := svc.MaxStreamSpan()
+	goodput := 0.0
+	if span > 0 {
+		goodput = float64(executed) / span.Seconds()
+	}
+	bytesPerOp := 0.0
+	if executed > 0 {
+		bytesPerOp = float64(nvmWritten()-before) / float64(executed)
+	}
+	fmt.Fprintf(out, "%-10s %12.0f %10v %10v %12.0f\n",
+		scheme, goodput, sojourn.Quantile(0.50), sojourn.Quantile(0.99), bytesPerOp)
+	return nil
 }

@@ -1,0 +1,35 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"hoop/internal/engine"
+)
+
+// TestKVStoreSmoke runs the example tiny: every registered scheme's fleet
+// must open, serve the burst through the ring, and print a row — the
+// integration smoke test for the internal/service API.
+func TestKVStoreSmoke(t *testing.T) {
+	var b strings.Builder
+	args := []string{"-shards", "2", "-keys", "512", "-duration", "1ms", "-rate", "50000"}
+	if err := run(args, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, scheme := range engine.AllSchemes {
+		if !strings.Contains(out, scheme) {
+			t.Errorf("output missing scheme %s:\n%s", scheme, out)
+		}
+	}
+	if !strings.Contains(out, "goodput/s") {
+		t.Errorf("output missing header:\n%s", out)
+	}
+}
+
+func TestKVStoreBadFlags(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-duration", "bogus"}, &b); err == nil {
+		t.Fatal("bad duration accepted")
+	}
+}

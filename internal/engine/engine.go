@@ -272,6 +272,12 @@ func (s *System) MaxClock() sim.Time {
 	return m
 }
 
+// LatencyHistogram returns a copy of the transaction critical-path latency
+// distribution (log-bucketed). Copies from independent systems merge with
+// sim.Histogram.Merge — the service tier folds per-shard histograms into
+// fleet-wide p50/p99/p999.
+func (s *System) LatencyHistogram() sim.Histogram { return s.txLatHist }
+
 // Telemetry exposes the system's event hub. Components inside the system
 // emit through it; consumers normally subscribe via Subscribe.
 func (s *System) Telemetry() *telemetry.Hub { return s.tel }

@@ -39,6 +39,12 @@ func (e *Env) Thread() int { return e.thread }
 // Now reports the thread's simulated time.
 func (e *Env) Now() sim.Time { return e.sys.clocks[e.thread].Now() }
 
+// AdvanceTo moves the thread's clock forward to t if t is later than the
+// current time — the thread idles until t. The service tier uses it to
+// align a shard with a request's open-loop arrival time; it never moves
+// time backwards.
+func (e *Env) AdvanceTo(t sim.Time) { e.sys.clocks[e.thread].AdvanceTo(t) }
+
 // TxBegin opens a failure-atomic region (the paper's Tx_begin).
 func (e *Env) TxBegin() {
 	s := e.sys

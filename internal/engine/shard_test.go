@@ -1,0 +1,196 @@
+package engine
+
+import (
+	"encoding/json"
+	"testing"
+
+	"hoop/internal/mem"
+	"hoop/internal/sim"
+)
+
+// countingHandler is a minimal ShardHandler: Setup stamps one word, Handle
+// runs one transaction writing aux at a key-derived slot. Every simulated
+// cost comes from the engine, so two shards fed the same requests must end
+// bit-identical.
+type countingHandler struct {
+	region  mem.Region
+	setups  int
+	handled int
+	burn    sim.Duration // extra simulated work per request (shed tests)
+}
+
+func (h *countingHandler) Setup(env *Env, region mem.Region, shard int, seed uint64) {
+	h.region = region
+	h.setups++
+	env.TxBegin()
+	env.WriteWord(region.Base, seed)
+	env.TxEnd()
+}
+
+func (h *countingHandler) Handle(env *Env, req ShardRequest) {
+	h.handled++
+	env.TxBegin()
+	slot := req.Key % (h.region.Size/8 - 1)
+	env.WriteWord(h.region.Base+mem.PAddr(8+slot*8), req.Aux)
+	env.TxEnd()
+	if h.burn > 0 {
+		env.AdvanceTo(env.Now() + h.burn)
+	}
+}
+
+func shardConfig() Config {
+	cfg := DefaultConfig(SchemeHOOP)
+	cfg.Threads = 1
+	return cfg
+}
+
+func TestShardSeedDerivation(t *testing.T) {
+	// Distinct per index, stable across calls, never zero, and a function
+	// of (runSeed, index) only.
+	seen := map[uint64]int{}
+	for i := 0; i < 64; i++ {
+		s := ShardSeed(42, i)
+		if s == 0 {
+			t.Fatalf("ShardSeed(42,%d) = 0", i)
+		}
+		if j, dup := seen[s]; dup {
+			t.Fatalf("ShardSeed collision: index %d and %d both %#x", j, i, s)
+		}
+		seen[s] = i
+		if again := ShardSeed(42, i); again != s {
+			t.Fatalf("ShardSeed(42,%d) unstable: %#x then %#x", i, s, again)
+		}
+	}
+	if ShardSeed(1, 0) == ShardSeed(2, 0) {
+		t.Fatal("ShardSeed ignores the run seed")
+	}
+}
+
+func TestShardLifecycle(t *testing.T) {
+	h := &countingHandler{}
+	sh, err := OpenShard(ShardConfig{Index: 0, RunSeed: 7, Engine: shardConfig()}, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustPanic(t, "Enqueue before Serve", func() { sh.Enqueue(ShardRequest{}) })
+	mustPanic(t, "Quiesce before Serve", func() { sh.Quiesce() })
+
+	sh.Serve()
+	mustPanic(t, "double Serve", func() { sh.Serve() })
+
+	const n = 50
+	for i := 0; i < n; i++ {
+		sh.Enqueue(ShardRequest{
+			Arrival: sim.Time(i) * sim.Time(sim.Microsecond),
+			Seq:     uint64(i),
+			Key:     uint64(i * 13),
+			Aux:     uint64(i),
+		})
+	}
+	sh.Quiesce()
+	if got := sh.Executed(); got != n {
+		t.Fatalf("Executed = %d, want %d", got, n)
+	}
+	if h.setups != 1 || h.handled != n {
+		t.Fatalf("handler saw setups=%d handled=%d, want 1/%d", h.setups, h.handled, n)
+	}
+	if sh.Epoch() <= 0 {
+		t.Fatalf("Epoch = %v, want > 0 (Setup ran a transaction)", sh.Epoch())
+	}
+	if hist := sh.Sojourn(); hist.Count() != n {
+		t.Fatalf("Sojourn count = %d, want %d", hist.Count(), n)
+	}
+
+	// Quiesce is repeatable and the shard keeps serving afterwards.
+	sh.Quiesce()
+	sh.Enqueue(ShardRequest{Arrival: sim.Time(n) * sim.Time(sim.Microsecond), Key: 1})
+	sh.Quiesce()
+	if got := sh.Executed(); got != n+1 {
+		t.Fatalf("Executed after resume = %d, want %d", got, n+1)
+	}
+
+	sh.Close()
+	sh.Close() // idempotent
+	mustPanic(t, "Enqueue after Close", func() { sh.Enqueue(ShardRequest{}) })
+}
+
+func TestShardCloseWithoutServe(t *testing.T) {
+	sh, err := OpenShard(ShardConfig{RunSeed: 1, Engine: shardConfig()}, &countingHandler{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh.Close() // never served: must not hang or panic
+}
+
+func TestShardShedPolicy(t *testing.T) {
+	// Each request burns 10us of simulated time but arrivals come every
+	// 1us, so the shard falls ~9us further behind per request; with a 20us
+	// bound everything past the first few is shed.
+	h := &countingHandler{burn: 10 * sim.Microsecond}
+	sh, err := OpenShard(ShardConfig{
+		RunSeed:   3,
+		Engine:    shardConfig(),
+		ShedDelay: 20 * sim.Microsecond,
+	}, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh.Serve()
+	const n = 40
+	for i := 0; i < n; i++ {
+		sh.Enqueue(ShardRequest{Arrival: sim.Time(i) * sim.Time(sim.Microsecond), Key: uint64(i)})
+	}
+	sh.Quiesce()
+	if sh.Shed() == 0 {
+		t.Fatal("overloaded shard shed nothing")
+	}
+	if got := sh.Executed() + sh.Shed(); got != n {
+		t.Fatalf("executed %d + shed %d = %d, want %d offered", sh.Executed(), sh.Shed(), got, n)
+	}
+	if sh.MaxQueueDelay() <= 20*sim.Microsecond {
+		t.Fatalf("MaxQueueDelay = %v, want > shed bound", sh.MaxQueueDelay())
+	}
+	sh.Close()
+}
+
+// TestShardDeterminism feeds the same request sequence to two shards with
+// the same (runSeed, index) and requires bit-identical snapshots — the
+// property that makes parallel fleet runs reproducible.
+func TestShardDeterminism(t *testing.T) {
+	run := func() []byte {
+		sh, err := OpenShard(ShardConfig{Index: 2, RunSeed: 99, Engine: shardConfig()}, &countingHandler{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sh.Serve()
+		for i := 0; i < 200; i++ {
+			sh.Enqueue(ShardRequest{
+				Arrival: sim.Time(i) * sim.Time(500*sim.Nanosecond),
+				Seq:     uint64(i),
+				Key:     uint64(i*7 + 3),
+				Aux:     uint64(i) * 11,
+			})
+		}
+		sh.Quiesce()
+		snap, err := json.Marshal(sh.System().Snapshot())
+		if err != nil {
+			t.Fatal(err)
+		}
+		sh.Close()
+		return snap
+	}
+	a, b := run(), run()
+	if string(a) != string(b) {
+		t.Fatalf("snapshots differ between identical runs:\n%s\n%s", a, b)
+	}
+}
+
+func mustPanic(t *testing.T, name string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("%s: expected panic", name)
+		}
+	}()
+	f()
+}

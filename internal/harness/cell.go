@@ -176,9 +176,12 @@ func measureWindow(sys *engine.System, runners []engine.TxRunner, txs int, sink 
 		sys.Subscribe(sink, mask)
 	}
 	before := takeSnapshot(sys)
+	histBefore := sys.LatencyHistogram()
 	sys.Run(runners, txs)
 	quiesce(sys)
 	m := window(before, takeSnapshot(sys))
 	m.Phases = counts.Counts()
+	hist := sys.LatencyHistogram()
+	m.Latency = hist.Since(histBefore)
 	return m
 }

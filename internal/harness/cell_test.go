@@ -41,6 +41,29 @@ func TestRunCellsMatchesSerial(t *testing.T) {
 	}
 }
 
+// TestCellLatencyHistogram: the window's latency histogram counts exactly
+// the measured transactions (setup txs excluded) and its percentiles are
+// ordered — the distribution harness consumers merge across cells.
+func TestCellLatencyHistogram(t *testing.T) {
+	defer QuickTuning()()
+	cells := []Cell{{Scheme: engine.SchemeHOOP, Workload: workload.HashMapWL(64), Txs: 300, Seed: 3}}
+	metrics, _, err := RunCells(cells, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := metrics[0]
+	if m.Latency.Count() != m.Txs {
+		t.Fatalf("latency histogram holds %d observations, want Txs = %d", m.Latency.Count(), m.Txs)
+	}
+	p50, p99 := m.LatencyQuantile(0.50), m.LatencyQuantile(0.99)
+	if p50 <= 0 || p99 < p50 {
+		t.Fatalf("percentiles out of order: p50=%v p99=%v", p50, p99)
+	}
+	if mean := m.Latency.Mean(); mean != m.AvgLatency() {
+		t.Fatalf("histogram mean %v disagrees with LatencySum/Txs %v", mean, m.AvgLatency())
+	}
+}
+
 func TestRunCellsPropagatesBuildErrors(t *testing.T) {
 	cells := []Cell{{Scheme: "no-such-scheme", Workload: workload.QueueWL(64), Txs: 10, Seed: 1}}
 	if _, _, err := RunCells(cells, 2); err == nil {

@@ -70,6 +70,17 @@ type Metrics struct {
 	// event counts and byte totals for the low-rate mechanism kinds
 	// (drains, slice writes, GC epochs, log writes, ...) plus commits.
 	Phases []telemetry.KindCount
+	// Latency is the window's transaction critical-path latency
+	// distribution (the engine's cumulative histogram differenced across
+	// the window), from which tail percentiles fall out; mergeable across
+	// cells via sim.Histogram.Merge, the same mechanism the service tier
+	// uses for fleet-wide p99s.
+	Latency sim.Histogram
+}
+
+// LatencyQuantile reports the q-th latency percentile of the window.
+func (m Metrics) LatencyQuantile(q float64) sim.Duration {
+	return m.Latency.Quantile(q)
 }
 
 // Throughput reports transactions per simulated second.

@@ -1,0 +1,57 @@
+package loadgen
+
+import (
+	"hoop/internal/sim"
+	"hoop/internal/workload"
+)
+
+// KeyDist draws keys from a popularity distribution over [0, n).
+type KeyDist interface {
+	Next() uint64
+}
+
+// UniformKeys draws uniformly over [0, n).
+type UniformKeys struct {
+	rng *sim.Rand
+	n   uint64
+}
+
+// NewUniformKeys returns a uniform distribution over [0, n).
+func NewUniformKeys(rng *sim.Rand, n uint64) *UniformKeys {
+	if n == 0 {
+		panic("loadgen: uniform keys over empty range")
+	}
+	return &UniformKeys{rng: rng, n: n}
+}
+
+// Next implements KeyDist.
+func (u *UniformKeys) Next() uint64 { return u.rng.Uint64() % u.n }
+
+// ZipfKeys draws Zipfian-skewed keys: rank 0 is the hottest. It reuses the
+// workload package's Gray et al. generator (the YCSB Zipfian), scattering
+// ranks over the keyspace with a fixed bijection so the hot set is not a
+// contiguous prefix — hot keys land on different shards under the ring.
+type ZipfKeys struct {
+	z *workload.Zipf
+	n uint64
+}
+
+// NewZipfKeys returns a Zipfian distribution over [0, n) with skew theta
+// (0.99 is the YCSB default; higher is hotter).
+func NewZipfKeys(rng *sim.Rand, n uint64, theta float64) *ZipfKeys {
+	return &ZipfKeys{z: workload.NewZipf(rng, n, theta), n: n}
+}
+
+// Next implements KeyDist.
+func (z *ZipfKeys) Next() uint64 {
+	// splitmix64 scatter, folded back into range. The fold loses perfect
+	// bijectivity but keeps the rank→key map deterministic and spread.
+	r := z.z.Next()
+	x := r ^ 0x9E3779B97F4A7C15
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return (x % z.n)
+}

@@ -1,0 +1,120 @@
+package loadgen
+
+import (
+	"fmt"
+	"strings"
+
+	"hoop/internal/service"
+	"hoop/internal/sim"
+)
+
+// OpMix is a tenant's operation mix as fractions summing to 1: gets, puts
+// (inserts/overwrites), single-word updates, deletes.
+type OpMix struct {
+	Get, Put, Update, Delete float64
+}
+
+func (m OpMix) sum() float64 { return m.Get + m.Put + m.Update + m.Delete }
+
+// pick maps a uniform u in [0,1) to an opcode.
+func (m OpMix) pick(u float64) uint8 {
+	u *= m.sum()
+	switch {
+	case u < m.Get:
+		return service.OpGet
+	case u < m.Get+m.Put:
+		return service.OpPut
+	case u < m.Get+m.Put+m.Update:
+		return service.OpUpdate
+	default:
+		return service.OpDelete
+	}
+}
+
+// Tenant is one client population sharing the keyspace: a weight (its
+// share of the arrival stream), an operation mix, and a key-popularity
+// skew (theta 0 = uniform).
+type Tenant struct {
+	Name   string
+	Weight float64
+	Mix    OpMix
+	Theta  float64
+}
+
+// The stock tenants, YCSB-flavoured.
+var (
+	// TenantReadHeavy is YCSB-B-shaped: 95% reads, 5% updates, hot-key
+	// skewed.
+	TenantReadHeavy = Tenant{Name: "read-heavy", Weight: 1, Mix: OpMix{Get: 0.95, Update: 0.05}, Theta: 0.99}
+	// TenantUpdateHeavy is YCSB-A-shaped: 50% reads, 50% updates.
+	TenantUpdateHeavy = Tenant{Name: "update-heavy", Weight: 1, Mix: OpMix{Get: 0.5, Update: 0.5}, Theta: 0.99}
+	// TenantIngest writes whole values over the full keyspace, uniformly —
+	// a bulk loader sharing the fleet with the interactive tenants.
+	TenantIngest = Tenant{Name: "ingest", Weight: 1, Mix: OpMix{Put: 1}, Theta: 0}
+)
+
+// Mixes is the named multi-tenant mix catalogue for the hoopd CLI.
+var Mixes = map[string][]Tenant{
+	"update-heavy": {TenantUpdateHeavy},
+	"read-heavy":   {TenantReadHeavy},
+	"ingest":       {TenantIngest},
+	// mixed: 60% interactive reads, 30% read-modify-write, 10% bulk
+	// ingest — three tenant populations multiplexed onto one fleet.
+	"mixed": {
+		withWeight(TenantReadHeavy, 0.6),
+		withWeight(TenantUpdateHeavy, 0.3),
+		withWeight(TenantIngest, 0.1),
+	},
+}
+
+func withWeight(t Tenant, w float64) Tenant {
+	t.Weight = w
+	return t
+}
+
+// MixNames lists the catalogue for help text, sorted lexically.
+func MixNames() string {
+	names := make([]string, 0, len(Mixes))
+	for n := range Mixes {
+		names = append(names, n)
+	}
+	for i := 1; i < len(names); i++ {
+		for j := i; j > 0 && names[j] < names[j-1]; j-- {
+			names[j], names[j-1] = names[j-1], names[j]
+		}
+	}
+	return strings.Join(names, ", ")
+}
+
+// tenantState is a Tenant bound to its per-stream key distribution.
+type tenantState struct {
+	Tenant
+	keys KeyDist
+}
+
+// bindTenants validates the mix and attaches one seeded KeyDist per
+// tenant. Each tenant gets an independent generator so its key stream
+// does not depend on the other tenants' draw order.
+func bindTenants(tenants []Tenant, keys uint64, seed uint64) ([]tenantState, error) {
+	if len(tenants) == 0 {
+		return nil, fmt.Errorf("loadgen: empty tenant mix")
+	}
+	out := make([]tenantState, len(tenants))
+	for i, t := range tenants {
+		if t.Weight <= 0 {
+			return nil, fmt.Errorf("loadgen: tenant %q weight must be positive", t.Name)
+		}
+		if t.Mix.sum() <= 0 {
+			return nil, fmt.Errorf("loadgen: tenant %q has an empty op mix", t.Name)
+		}
+		rng := sim.NewRand(deriveSeed(seed, uint64(i)+1))
+		ts := tenantState{Tenant: t}
+		if t.Theta > 0 {
+			ts.keys = NewZipfKeys(rng, keys, t.Theta)
+		} else {
+			ts.keys = NewUniformKeys(rng, keys)
+		}
+		out[i] = ts
+	}
+	return out, nil
+}

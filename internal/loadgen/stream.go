@@ -1,0 +1,175 @@
+package loadgen
+
+import (
+	"fmt"
+
+	"hoop/internal/engine"
+	"hoop/internal/sim"
+)
+
+// ArrivalKind selects the arrival process of a stream.
+type ArrivalKind int
+
+const (
+	// ArrivalPoisson is a constant-rate Poisson process.
+	ArrivalPoisson ArrivalKind = iota
+	// ArrivalBursty is the two-state modulated Poisson process: Rate
+	// outside bursts, Rate*BurstFactor inside.
+	ArrivalBursty
+)
+
+// ParseArrivalKind maps a CLI spelling to an ArrivalKind.
+func ParseArrivalKind(s string) (ArrivalKind, error) {
+	switch s {
+	case "poisson":
+		return ArrivalPoisson, nil
+	case "bursty":
+		return ArrivalBursty, nil
+	}
+	return 0, fmt.Errorf("loadgen: unknown arrival process %q (poisson, bursty)", s)
+}
+
+// String names the kind for CLI output.
+func (k ArrivalKind) String() string {
+	if k == ArrivalBursty {
+		return "bursty"
+	}
+	return "poisson"
+}
+
+// StreamConfig describes one open-loop request stream (one per shard in
+// hoopd's soak, or one fleet-wide stream in ring-routed mode).
+type StreamConfig struct {
+	// Seed fixes the whole stream; equal seeds give byte-identical
+	// streams.
+	Seed uint64
+	// Keys is the keyspace the stream draws from ([0, Keys)).
+	Keys uint64
+	// Rate is the offered arrival rate in requests/second.
+	Rate float64
+	// Arrivals selects the arrival process.
+	Arrivals ArrivalKind
+	// BurstFactor scales Rate inside bursts (ArrivalBursty; default 8).
+	BurstFactor float64
+	// BurstLen and BurstGap are the mean burst length and gap
+	// (ArrivalBursty; defaults 1ms / 4ms).
+	BurstLen, BurstGap sim.Duration
+	// Tenants is the client mix; empty means a single update-heavy
+	// tenant.
+	Tenants []Tenant
+	// Horizon ends the stream: no arrivals at or after it.
+	Horizon sim.Duration
+	// SeqBase offsets the stream's sequence numbers (distinct per shard
+	// so fleet-wide traces carry unique request ids).
+	SeqBase uint64
+}
+
+// deriveSeed mixes a sub-generator index into a stream seed (splitmix64
+// step, mirroring engine.ShardSeed's construction).
+func deriveSeed(seed, idx uint64) uint64 {
+	z := seed + 0x9E3779B97F4A7C15*idx
+	z ^= z >> 30
+	z *= 0xBF58476D1CE4E5B9
+	z ^= z >> 27
+	z *= 0x94D049BB133111EB
+	z ^= z >> 31
+	return z
+}
+
+// Stream generates one deterministic open-loop request sequence. Not safe
+// for concurrent use; each producer goroutine owns one Stream.
+type Stream struct {
+	arr     Arrivals
+	pick    *sim.Rand // tenant + op selection and value seeds
+	tenants []tenantState
+	wsum    float64
+	now     sim.Time
+	horizon sim.Time
+	seq     uint64
+	count   uint64
+}
+
+// NewStream builds the stream; all randomness derives from cfg.Seed.
+func NewStream(cfg StreamConfig) (*Stream, error) {
+	if cfg.Keys == 0 {
+		return nil, fmt.Errorf("loadgen: StreamConfig.Keys must be positive")
+	}
+	if cfg.Rate <= 0 {
+		return nil, fmt.Errorf("loadgen: StreamConfig.Rate must be positive")
+	}
+	if cfg.Horizon <= 0 {
+		return nil, fmt.Errorf("loadgen: StreamConfig.Horizon must be positive")
+	}
+	tenants := cfg.Tenants
+	if len(tenants) == 0 {
+		tenants = []Tenant{TenantUpdateHeavy}
+	}
+	bound, err := bindTenants(tenants, cfg.Keys, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	var wsum float64
+	for _, t := range bound {
+		wsum += t.Weight
+	}
+	arrRng := sim.NewRand(deriveSeed(cfg.Seed, 0x41525256)) // "ARRV"
+	var arr Arrivals
+	switch cfg.Arrivals {
+	case ArrivalPoisson:
+		arr = NewPoisson(arrRng, cfg.Rate)
+	case ArrivalBursty:
+		factor := cfg.BurstFactor
+		if factor <= 0 {
+			factor = 8
+		}
+		blen, bgap := cfg.BurstLen, cfg.BurstGap
+		if blen <= 0 {
+			blen = sim.Millisecond
+		}
+		if bgap <= 0 {
+			bgap = 4 * sim.Millisecond
+		}
+		arr = NewBursty(arrRng, cfg.Rate, cfg.Rate*factor, blen, bgap)
+	default:
+		return nil, fmt.Errorf("loadgen: unknown arrival kind %d", cfg.Arrivals)
+	}
+	return &Stream{
+		arr:     arr,
+		pick:    sim.NewRand(deriveSeed(cfg.Seed, 0x5049434B)), // "PICK"
+		tenants: bound,
+		wsum:    wsum,
+		horizon: cfg.Horizon,
+		seq:     cfg.SeqBase,
+	}, nil
+}
+
+// Next returns the next request, or ok=false once the horizon is reached.
+// The returned request carries its open-loop arrival time; Seq increments
+// from SeqBase in arrival order.
+func (s *Stream) Next() (req engine.ShardRequest, ok bool) {
+	s.now += s.arr.Next()
+	if s.now >= s.horizon {
+		return engine.ShardRequest{}, false
+	}
+	w := s.pick.Float64() * s.wsum
+	ti := 0
+	for ; ti < len(s.tenants)-1; ti++ {
+		if w < s.tenants[ti].Weight {
+			break
+		}
+		w -= s.tenants[ti].Weight
+	}
+	t := &s.tenants[ti]
+	s.seq++
+	s.count++
+	return engine.ShardRequest{
+		Arrival: s.now,
+		Seq:     s.seq,
+		Kind:    t.Mix.pick(s.pick.Float64()),
+		Key:     t.keys.Next(),
+		Aux:     s.pick.Uint64(),
+	}, true
+}
+
+// Generated reports how many requests the stream has produced.
+func (s *Stream) Generated() uint64 { return s.count }

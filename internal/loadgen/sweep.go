@@ -1,0 +1,67 @@
+package loadgen
+
+import "hoop/internal/sim"
+
+// SweepPoint is one measured rung of a saturation sweep.
+type SweepPoint struct {
+	// Rate is the offered per-shard arrival rate (requests/second).
+	Rate float64
+	// Offered, Executed, and Shed count requests fleet-wide.
+	Offered, Executed, Shed int64
+	// Span is the fleet's simulated wall-clock.
+	Span sim.Duration
+	// P99 is the fleet-wide p99 sojourn (arrival to completion).
+	P99 sim.Duration
+}
+
+// Goodput reports committed requests per simulated second.
+func (p SweepPoint) Goodput() float64 {
+	if p.Span <= 0 {
+		return 0
+	}
+	return float64(p.Executed) / p.Span.Seconds()
+}
+
+// ShedFrac reports the fraction of offered requests dropped.
+func (p SweepPoint) ShedFrac() float64 {
+	if p.Offered == 0 {
+		return 0
+	}
+	return float64(p.Shed) / float64(p.Offered)
+}
+
+// SweepResult is a completed saturation sweep.
+type SweepResult struct {
+	Points []SweepPoint
+	// Saturation is the point with the highest goodput — the knee of the
+	// offered-load/goodput curve.
+	Saturation SweepPoint
+}
+
+// SaturationSweep ramps offered load geometrically (startRate, then
+// ×factor per step, up to maxSteps) and calls run at each rung. It stops
+// early once the system is past saturation: goodput fell below 90% of the
+// best rung seen, or more than half the offered load was shed. The
+// returned Saturation is the best-goodput rung.
+func SaturationSweep(startRate, factor float64, maxSteps int, run func(rate float64) SweepPoint) SweepResult {
+	if startRate <= 0 || factor <= 1 || maxSteps < 1 {
+		panic("loadgen: sweep needs startRate > 0, factor > 1, maxSteps >= 1")
+	}
+	var res SweepResult
+	rate := startRate
+	for step := 0; step < maxSteps; step++ {
+		p := run(rate)
+		p.Rate = rate
+		res.Points = append(res.Points, p)
+		if p.Goodput() > res.Saturation.Goodput() {
+			res.Saturation = p
+		} else if p.Goodput() < 0.9*res.Saturation.Goodput() {
+			break // goodput collapsed — past the knee
+		}
+		if p.ShedFrac() > 0.5 {
+			break // admission control is carrying the load, not the shards
+		}
+		rate *= factor
+	}
+	return res
+}

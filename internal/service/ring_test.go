@@ -1,0 +1,101 @@
+package service
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestJumpHashRange(t *testing.T) {
+	prop := func(key uint64, n uint16) bool {
+		buckets := int(n%256) + 1
+		b := JumpHash(key, buckets)
+		return b >= 0 && b < buckets
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestJumpHashMonotonic locks the defining property of jump consistent
+// hashing: growing the ring from n to n+1 buckets either leaves a key in
+// place or moves it onto the new bucket — never between old buckets.
+func TestJumpHashMonotonic(t *testing.T) {
+	prop := func(key uint64, n uint16) bool {
+		buckets := int(n%128) + 1
+		before := JumpHash(key, buckets)
+		after := JumpHash(key, buckets+1)
+		return after == before || after == buckets
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRingPermutationStability: Route is a pure function of (key, shard
+// count) — the assignment of a key set is identical under any submission
+// order.
+func TestRingPermutationStability(t *testing.T) {
+	ring := NewRing(8)
+	prop := func(keys []uint64, swaps []uint8) bool {
+		want := make(map[uint64]int, len(keys))
+		for _, k := range keys {
+			want[k] = ring.Route(k)
+		}
+		// Permute and re-route.
+		perm := append([]uint64(nil), keys...)
+		for i, s := range swaps {
+			if len(perm) < 2 {
+				break
+			}
+			j := (int(s) + i) % len(perm)
+			perm[0], perm[j] = perm[j], perm[0]
+		}
+		for _, k := range perm {
+			if ring.Route(k) != want[k] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRingDistribution checks a dense keyspace spreads roughly uniformly —
+// the point of the mix64 premix.
+func TestRingDistribution(t *testing.T) {
+	const shards, keys = 8, 1 << 16
+	ring := NewRing(shards)
+	var counts [shards]int
+	for k := uint64(0); k < keys; k++ {
+		counts[ring.Route(k)]++
+	}
+	want := float64(keys) / shards
+	for i, c := range counts {
+		if frac := float64(c) / want; frac < 0.9 || frac > 1.1 {
+			t.Errorf("shard %d owns %d keys (%.2fx fair share)", i, c, frac)
+		}
+	}
+}
+
+func TestSingleBucket(t *testing.T) {
+	ring := NewRing(1)
+	for _, k := range []uint64{0, 1, 1 << 63, ^uint64(0)} {
+		if got := ring.Route(k); got != 0 {
+			t.Fatalf("Route(%d) on 1 shard = %d", k, got)
+		}
+	}
+}
+
+func TestSuggestBuckets(t *testing.T) {
+	cases := []struct {
+		n    uint64
+		want int
+	}{{0, 16}, {31, 16}, {32, 16}, {64, 32}, {1024, 512}, {1 << 20, 1 << 19}}
+	for _, c := range cases {
+		if got := suggestBuckets(c.n); got != c.want {
+			t.Errorf("suggestBuckets(%d) = %d, want %d", c.n, got, c.want)
+		}
+	}
+}

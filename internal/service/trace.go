@@ -1,0 +1,110 @@
+package service
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+
+	"hoop/internal/engine"
+	"hoop/internal/telemetry"
+)
+
+// TraceCollector gathers one JSONL telemetry trace per shard plus the
+// router's ring_route stream and writes them as a single hooptop-parseable
+// stream — the same pattern as harness.TraceCollector. Each shard's sink
+// is private to its serving goroutine (no locking); WriteTo concatenates
+// the buffers in shard order behind {"cell":"shard-NNN"} markers, so the
+// combined output is byte-identical however the shard goroutines were
+// scheduled. Call WriteTo only after Quiesce or Close.
+type TraceCollector struct {
+	// ShardMask selects the kinds each shard's sink subscribes to; zero
+	// means MaskTrace plus the shard admission kinds (enqueue/shed).
+	ShardMask telemetry.Mask
+	// RouterMask selects the router-hub kinds; zero means ring_route. Note
+	// ring_route fires once per Submit — high volume on big soaks.
+	RouterMask telemetry.Mask
+
+	router cellTrace
+	shards []*cellTrace
+}
+
+type cellTrace struct {
+	label string
+	buf   bytes.Buffer
+	sink  *telemetry.JSONLSink
+}
+
+func (ct *cellTrace) init(label string) {
+	ct.label = label
+	ct.sink = telemetry.NewJSONLSink(&ct.buf)
+}
+
+// attachRouter subscribes the router cell to the service's routing hub.
+func (tc *TraceCollector) attachRouter(hub *telemetry.Hub) {
+	tc.router.init("router")
+	mask := tc.RouterMask
+	if mask == 0 {
+		mask = telemetry.MaskOf(telemetry.KindRingRoute)
+	}
+	hub.Subscribe(tc.router.sink, mask)
+}
+
+// attachShard wires shard i's engine to a fresh trace buffer. Must run
+// before Serve.
+func (tc *TraceCollector) attachShard(i int, sys *engine.System) {
+	ct := &cellTrace{}
+	ct.init(fmt.Sprintf("shard-%03d", i))
+	mask := tc.ShardMask
+	if mask == 0 {
+		mask = telemetry.MaskTrace |
+			telemetry.MaskOf(telemetry.KindShardEnqueue, telemetry.KindShardShed)
+	}
+	sys.Subscribe(ct.sink, mask)
+	tc.shards = append(tc.shards, ct)
+}
+
+// ShardTrace returns the flushed trace bytes of shard i — what WriteTo
+// would emit for that cell, without the marker line. The determinism tests
+// compare these byte-for-byte across shard counts.
+func (tc *TraceCollector) ShardTrace(i int) ([]byte, error) {
+	ct := tc.shards[i]
+	if err := ct.sink.Flush(); err != nil {
+		return nil, fmt.Errorf("service: trace for %s: %w", ct.label, err)
+	}
+	return ct.buf.Bytes(), nil
+}
+
+// WriteTo implements io.WriterTo: the router cell first (when it saw any
+// events), then every shard cell in index order.
+func (tc *TraceCollector) WriteTo(w io.Writer) (int64, error) {
+	var n int64
+	write := func(ct *cellTrace) error {
+		if err := ct.sink.Flush(); err != nil {
+			return fmt.Errorf("service: trace for %s: %w", ct.label, err)
+		}
+		m, err := fmt.Fprintf(w, "{\"cell\":%q}\n", ct.label)
+		n += int64(m)
+		if err != nil {
+			return err
+		}
+		k, err := ct.buf.WriteTo(w)
+		n += k
+		return err
+	}
+	if tc.router.sink != nil {
+		if err := tc.router.sink.Flush(); err != nil {
+			return n, fmt.Errorf("service: trace for %s: %w", tc.router.label, err)
+		}
+		if tc.router.buf.Len() > 0 {
+			if err := write(&tc.router); err != nil {
+				return n, err
+			}
+		}
+	}
+	for _, ct := range tc.shards {
+		if err := write(ct); err != nil {
+			return n, err
+		}
+	}
+	return n, nil
+}

@@ -115,6 +115,26 @@ func (h *Histogram) Merge(other *Histogram) {
 	h.sum += other.sum
 }
 
+// Since returns the distribution of the observations recorded after the
+// earlier copy `before` was taken from the same histogram: bucket counts,
+// count, and sum subtract exactly, so Count/Mean/Quantile describe the
+// window precisely. Min and Max cannot be reconstructed per-window from
+// cumulative extremes; the result carries the cumulative ones, which
+// bound the window's. Harness windows use this to report per-measurement
+// latency percentiles off the engine's cumulative histogram.
+func (h *Histogram) Since(before Histogram) Histogram {
+	out := *h
+	for b := range out.buckets {
+		out.buckets[b] -= before.buckets[b]
+	}
+	out.count -= before.count
+	out.sum -= before.sum
+	if out.count == 0 {
+		return Histogram{}
+	}
+	return out
+}
+
 // Reset clears the histogram.
 func (h *Histogram) Reset() { *h = Histogram{} }
 

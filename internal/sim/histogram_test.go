@@ -94,6 +94,54 @@ func TestHistogramMerge(t *testing.T) {
 	}
 }
 
+// TestHistogramMergeEquivalence is the satellite property: splitting an
+// observation stream across k histograms and merging them back is exactly
+// equivalent — full struct equality, not just matching quantiles — to
+// observing everything in one histogram. This is what makes per-shard
+// histograms safe to fold into fleet-wide percentiles.
+func TestHistogramMergeEquivalence(t *testing.T) {
+	prop := func(raw []int64, k uint8) bool {
+		parts := int(k%7) + 1
+		var single Histogram
+		shards := make([]Histogram, parts)
+		for i, v := range raw {
+			d := Duration(v)
+			single.Observe(d)
+			shards[i%parts].Observe(d)
+		}
+		var merged Histogram
+		for i := range shards {
+			merged.Merge(&shards[i])
+		}
+		return merged == single
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogramSince(t *testing.T) {
+	var h Histogram
+	h.Observe(1 * Microsecond)
+	h.Observe(2 * Microsecond)
+	before := h
+	h.Observe(10 * Microsecond)
+	h.Observe(20 * Microsecond)
+	w := h.Since(before)
+	if w.Count() != 2 {
+		t.Fatalf("window count = %d", w.Count())
+	}
+	if w.Mean() != 15*Microsecond {
+		t.Fatalf("window mean = %v", w.Mean())
+	}
+	if p99 := w.Quantile(0.99); p99 < 10*Microsecond {
+		t.Fatalf("window p99 = %v excludes the window's observations", p99)
+	}
+	if empty := h.Since(h); empty != (Histogram{}) {
+		t.Fatal("Since(self) must be the zero histogram")
+	}
+}
+
 func TestHistogramNegativeClamped(t *testing.T) {
 	var h Histogram
 	h.Observe(-5)

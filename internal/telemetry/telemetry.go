@@ -76,6 +76,21 @@ const (
 	// KindRecovery fires per recovery phase from the recovery master
 	// thread. Aux is the RecoveryPhase, Bytes the data the phase touched.
 	KindRecovery
+	// KindShardEnqueue fires when a service shard admits a request from its
+	// mailbox. Time is the request's open-loop arrival time, Tx the global
+	// request sequence number, and Aux the simulated queueing delay the
+	// request suffered before admission (picoseconds).
+	KindShardEnqueue
+	// KindShardShed fires when a shard's admission control drops a request
+	// whose simulated queueing delay exceeded the backpressure bound. Time,
+	// Tx, and Aux carry the same fields as KindShardEnqueue; the service
+	// tier accounts a shed like a tx_abort (offered but not committed).
+	KindShardShed
+	// KindRingRoute fires when the service router assigns a request to a
+	// shard. Time is the arrival time, Tx the request sequence number, Aux
+	// the chosen shard index. Per-request rate: subscribe only when
+	// reconstructing routing decisions.
+	KindRingRoute
 
 	numKinds
 )
@@ -98,6 +113,9 @@ var kindNames = [numKinds]string{
 	KindNVMWrite:     "nvm_write",
 	KindLogWrite:     "log_write",
 	KindRecovery:     "recovery",
+	KindShardEnqueue: "shard_enqueue",
+	KindShardShed:    "shard_shed",
+	KindRingRoute:    "ring_route",
 }
 
 // String returns the stable wire name of the kind ("tx_commit", "gc_start").
@@ -200,6 +218,12 @@ var MaskPhases = MaskOf(KindTxAbort, KindPersistDrain, KindSliceWrite,
 // MaskTrace is the default -trace subscription: mechanism phases plus
 // commits, enough to reconstruct a run's timeline without per-op volume.
 var MaskTrace = MaskPhases | MaskOf(KindTxCommit)
+
+// MaskService selects the service-tier kinds: shard admissions, sheds, and
+// ring routing decisions. hoopd's soak traces subscribe the per-shard kinds
+// (enqueue/shed) together with MaskTrace; ring_route fires per request on
+// the router and is opt-in.
+var MaskService = MaskOf(KindShardEnqueue, KindShardShed, KindRingRoute)
 
 // Sink consumes events. Emit is called synchronously from the simulation
 // loop with events matching the sink's subscription mask; implementations
