@@ -5,7 +5,7 @@
 // Usage:
 //
 //	hoopbench [-quick] [-seed N] [-workers N] [-trace out.jsonl]
-//	          [-sections tables,fig7-9,tableIV,fig10,fig11,fig12,fig13,area]
+//	          [-sections tables,fig7-9,tableIV,fig10,fig11,fig12,fig13,contention,area]
 //	          [-cpuprofile out.pprof] [-memprofile out.pprof]
 package main
 

@@ -11,7 +11,7 @@
 // Usage:
 //
 //	hoopcrash [-scheme all] [-mode exhaustive|random] [-seed 1] [-seeds 200]
-//	          [-txs 8] [-words 4] [-pool 96] [-cores 2]
+//	          [-txs 8] [-words 4] [-pool 96] [-cores 2] [-abortevery 0]
 package main
 
 import (
@@ -42,6 +42,7 @@ func run(args []string, out io.Writer) error {
 	words := fs.Int("words", 4, "max word writes per transaction")
 	pool := fs.Int("pool", 96, "word-address pool size")
 	cores := fs.Int("cores", 2, "cores issuing transactions round-robin")
+	abortEvery := fs.Int("abortevery", 0, "abort every k-th transaction (0 = none), exposing abort-path crash points")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -54,7 +55,7 @@ func run(args []string, out io.Writer) error {
 				found = true
 			}
 		}
-		if !found && *scheme != crashtest.BuggySchemeName {
+		if !found && *scheme != crashtest.BuggySchemeName && *scheme != crashtest.BuggyAbortLeakName {
 			return fmt.Errorf("unknown scheme %q (known: %v)", *scheme, schemes)
 		}
 		schemes = []string{*scheme}
@@ -65,6 +66,7 @@ func run(args []string, out io.Writer) error {
 	w.MaxWords = *words
 	w.AddrWords = *pool
 	w.Cores = *cores
+	w.AbortEvery = *abortEvery
 
 	failed := false
 	for _, s := range schemes {

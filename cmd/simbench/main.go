@@ -29,6 +29,7 @@ import (
 	"time"
 
 	"hoop/internal/cache"
+	"hoop/internal/cc"
 	"hoop/internal/clihelp"
 	"hoop/internal/engine"
 	"hoop/internal/harness"
@@ -173,6 +174,26 @@ func benchmarks() map[string]func(b *testing.B) {
 				env.TxEnd()
 			}
 		},
+		// One committed 4-word read-modify-write transaction through the
+		// concurrency-control layer's step scheduler: the op-granularity
+		// yield protocol plus OCC's buffer/validate/install bookkeeping.
+		// The alloc gate holds the budget at zero steady-state allocations
+		// (validation reuses its scratch buffer).
+		"cc_occ_tx4": func(b *testing.B) {
+			r, srcs := ccRunnerForBench(b, cc.PolicyOCC)
+			r.Run(srcs, 200) // steady state
+			b.ResetTimer()
+			r.Run(srcs, b.N)
+		},
+		// Same transaction under wound-wait 2PL: per-line lock acquire and
+		// release against the never-deleted lock table. Steady-state budget
+		// is likewise zero allocations.
+		"cc_2pl_tx4": func(b *testing.B) {
+			r, srcs := ccRunnerForBench(b, cc.Policy2PL)
+			r.Run(srcs, 200)
+			b.ResetTimer()
+			r.Run(srcs, b.N)
+		},
 		// One committed 4-word transaction followed by a forced GC epoch:
 		// the scan/coalesce/migrate/recycle pass plus whatever per-epoch
 		// state the scheme rebuilds.
@@ -199,6 +220,34 @@ func benchmarks() map[string]func(b *testing.B) {
 }
 
 var sinkU64 uint64
+
+// ccRunnerForBench builds a single-thread abortable Ideal system with a
+// fixed 4-word read-modify-write source whose Next allocates nothing, so
+// the measurement sees only the cc layer's own cost.
+func ccRunnerForBench(b *testing.B, policy cc.Policy) (*cc.Runner, []cc.TxSource) {
+	cfg := engine.DefaultConfig(engine.SchemeNative)
+	cfg.Cores, cfg.Threads, cfg.Cache.Cores = 1, 1, 1
+	cfg.Ctrl.Agents = 3
+	cfg.NVM.Capacity = 1 << 30
+	cfg.OOPBytes = 64 << 20
+	cfg.Abortable = true
+	sys, err := engine.New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r, err := cc.New(sys, cc.Config{Policy: policy})
+	if err != nil {
+		b.Fatal(err)
+	}
+	body := func(tx cc.Tx) {
+		for w := 0; w < 4; w++ {
+			a := mem.PAddr(w * mem.WordSize)
+			v := tx.ReadWord(a)
+			tx.WriteWord(a, v+1)
+		}
+	}
+	return r, []cc.TxSource{cc.TxSourceFunc(func() cc.TxFunc { return body })}
+}
 
 func engineForBench(b *testing.B) *engine.System {
 	cfg := engine.DefaultConfig(engine.SchemeHOOP)

@@ -162,6 +162,15 @@ func (s *Scheme) TxEnd(core int, tx persist.TxID, now sim.Time) sim.Time {
 	return now
 }
 
+// TxAbort implements persist.Scheme: the controller queue simply discards
+// the buffered lines. Spilled staging lines are dead garbage — nothing
+// points at the staging stripe until the commit handshake, which never
+// happens for an aborted transaction.
+func (s *Scheme) TxAbort(core int, tx persist.TxID, now sim.Time) sim.Time {
+	s.txLines[core].Clear()
+	return now
+}
+
 // ReadMiss implements persist.Scheme: reads are served from the home
 // region (the controller forwards from its queue when it holds a newer
 // copy, at no extra cost in this model).

@@ -268,6 +268,41 @@ func (s *Scheme) TxEnd(core int, tx persist.TxID, now sim.Time) sim.Time {
 	return now
 }
 
+// TxAbort implements persist.Scheme. The aborted records already sit in
+// the log, but they carry no commit sentinel, so GC coalescing and
+// recovery both skip them — durably the abort is free, the records are
+// dead space until the next epoch reset. Volatile state must be unwound:
+// the index entries and per-line word counts the aborted stores installed
+// are removed (a software walk, so the skip-list hop cost lands on the
+// critical path), and the live-transaction entry is dropped — GC defers
+// while any transaction is live, and an aborted one must not pin it.
+func (s *Scheme) TxAbort(core int, tx persist.TxID, now sim.Time) sim.Time {
+	var hops, words int
+	for i := range s.records {
+		r := &s.records[i]
+		if r.tx != tx || r.addr == commitSentinel {
+			continue
+		}
+		for off := 0; off < r.n; off += mem.WordSize {
+			w := r.addr + mem.PAddr(off)
+			if _, h := s.index.Delete(uint64(w)); h > hops {
+				hops = h
+			}
+			words++
+			p := s.lineWords.Ref(mem.LineIndex(w))
+			*p--
+			if *p <= 0 {
+				s.lineWords.Delete(mem.LineIndex(w))
+			}
+		}
+	}
+	s.liveTx.Delete(uint64(tx))
+	if words > 0 {
+		now += sim.Duration(words)*indexInsertBase + sim.Duration(hops)*indexHopCost
+	}
+	return now
+}
+
 // LoadOverhead implements the optional per-load hook: every read must
 // translate its home address through the software index, costing
 // O(log N) hops.

@@ -64,6 +64,14 @@ func (s *Scheme) TxEnd(core int, tx persist.TxID, now sim.Time) sim.Time {
 	return now
 }
 
+// TxAbort implements persist.Scheme: with no persistence machinery there
+// is nothing durable to discard. (The in-place evictions an aborted
+// transaction may have pushed home are exactly the inconsistency the Ideal
+// system tolerates by design.)
+func (s *Scheme) TxAbort(core int, tx persist.TxID, now sim.Time) sim.Time {
+	return now
+}
+
 // ReadMiss implements persist.Scheme: always read the home region.
 func (s *Scheme) ReadMiss(core int, addr mem.PAddr, now sim.Time) (sim.Time, bool) {
 	return s.ctx.Ctrl.Read(mem.LineAddr(addr), mem.LineSize, now), false

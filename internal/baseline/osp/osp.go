@@ -294,6 +294,16 @@ func (s *Scheme) TxEnd(core int, tx persist.TxID, now sim.Time) sim.Time {
 	return now
 }
 
+// TxAbort implements persist.Scheme. All durable commit work (CoW flushes,
+// the intent record, bitmap flips) happens at TxEnd; mid-transaction
+// evictions only wrote the *inactive* copies, which stay dead garbage
+// because the current-copy bits never flip. Dropping the write set is the
+// whole abort.
+func (s *Scheme) TxAbort(core int, tx persist.TxID, now sim.Time) sim.Time {
+	s.txLines[core].Clear()
+	return now
+}
+
 // ReadMiss implements persist.Scheme: read whichever physical copy is
 // current (the remapping itself is free — it lives in the TLB).
 func (s *Scheme) ReadMiss(core int, addr mem.PAddr, now sim.Time) (sim.Time, bool) {

@@ -186,6 +186,14 @@ func (s *Scheme) TxEnd(core int, tx persist.TxID, now sim.Time) sim.Time {
 	return now
 }
 
+// TxAbort implements persist.Scheme. Redo logging does all durable work at
+// commit, so an abort only drops the volatile write set — nothing reached
+// the log, and Evict already withholds transactional lines from home.
+func (s *Scheme) TxAbort(core int, tx persist.TxID, now sim.Time) sim.Time {
+	s.txLines[core].Clear()
+	return now
+}
+
 // ReadMiss implements persist.Scheme: a miss on a line whose newest value
 // is still only in the log is redirected there.
 func (s *Scheme) ReadMiss(core int, addr mem.PAddr, now sim.Time) (sim.Time, bool) {

@@ -25,9 +25,16 @@ import (
 )
 
 // Record payload: [flags|txid u64][home line addr u64][64-byte old image].
+// abortFlag marks a *completed* abort: the old images were already restored
+// to their home addresses in the foreground, so recovery must not roll the
+// transaction back again (later committed data may since have overwritten
+// those lines). A crash mid-abort leaves no marker and recovery rolls back
+// from the log as for any uncommitted transaction — the restores are
+// idempotent re-applications of the same old images.
 const (
 	payloadSize = 8 + 8 + mem.LineSize
 	commitFlag  = uint64(1) << 63
+	abortFlag   = uint64(1) << 62
 )
 
 // Accounted traffic sizes: an undo log entry carries the 64-byte old image
@@ -193,6 +200,47 @@ func (s *Scheme) TxEnd(core int, tx persist.TxID, now sim.Time) sim.Time {
 	return now
 }
 
+// TxAbort implements persist.Scheme. Undo logging is a STEAL policy:
+// uncommitted data may already sit in the home region (mid-transaction
+// evictions write in place), so the abort must actively restore the
+// pre-transaction images — the engine has already rolled the View back, so
+// the dirty lines are read from it exactly as TxEnd reads committed ones.
+// Once every restore is drained, an abort marker retires the transaction
+// in the log; see the abortFlag comment for the crash-timing argument.
+func (s *Scheme) TxAbort(core int, tx persist.TxID, now sim.Time) sim.Time {
+	lines := s.dirty[core]
+	slices.Sort(lines)
+	var buf [mem.LineSize]byte
+	for _, l := range lines {
+		lineAddr := mem.PAddr(l << mem.LineShift)
+		s.ctx.Hier.FlushLine(lineAddr, false)
+		s.ctx.View.Read(lineAddr, buf[:])
+		s.ctx.Dev.Store().Write(lineAddr, buf[:])
+		s.ctx.Ctrl.PostWrite(core, lineAddr, mem.LineSize, now)
+	}
+	if len(lines) > 0 {
+		now = s.ctx.Ctrl.Drain(core, now)
+		if s.ring.Full() {
+			s.truncate(now)
+		}
+		var payload [payloadSize]byte
+		binary.LittleEndian.PutUint64(payload[0:], uint64(tx)|abortFlag)
+		_, at := s.ring.Append(s.ctx.Dev.Store(), payload[:])
+		now = s.ctx.Ctrl.Write(at, commitTraffic, now)
+		if s.ctx.Tel.Enabled(telemetry.KindLogWrite) {
+			s.ctx.Tel.Emit(telemetry.Event{
+				Kind: telemetry.KindLogWrite, Time: now, Core: int16(core),
+				Tx: uint64(tx), Addr: at, Bytes: commitTraffic,
+			})
+		}
+	}
+	s.logged[core].Clear()
+	s.dirty[core] = s.dirty[core][:0]
+	s.firstSeq[core] = 0
+	s.truncate(now)
+	return now
+}
+
 // truncate advances the log watermark past every record not needed by a
 // still-live transaction (committed transactions' records are dead the
 // moment their data is forced).
@@ -272,8 +320,12 @@ func (s *Scheme) Recover(threads int) (sim.Duration, error) {
 	s.ring.Scan(store, func(seq uint64, at mem.PAddr, payload []byte) {
 		scanned += int64(s.ring.RecordBytes())
 		word := binary.LittleEndian.Uint64(payload[0:])
-		if word&commitFlag != 0 {
-			committed[word&^commitFlag] = struct{}{}
+		if word&(commitFlag|abortFlag) != 0 {
+			// Commit and completed-abort markers both mean "do not roll this
+			// transaction back": commit because the new data is durable,
+			// abort because the old images were already restored in the
+			// foreground.
+			committed[word&^(commitFlag|abortFlag)] = struct{}{}
 			return
 		}
 		var e entry

@@ -1,0 +1,48 @@
+package cctest
+
+import (
+	"testing"
+
+	"hoop/internal/cc"
+	"hoop/internal/engine"
+)
+
+// FuzzConcurrentHistories drives the concurrency-control layer with
+// fuzzer-chosen workload shapes and checks every history against the
+// sequential-specification oracle. The scheme alternates between the
+// cheapest (Ideal) and the most machinery-heavy (HOOP) so the fuzzer's
+// budget goes into interleavings, not recovery scans; CI runs this as a
+// short smoke (-fuzztime), and any crasher reduces to a plain Config.
+func FuzzConcurrentHistories(f *testing.F) {
+	f.Add(uint64(1), uint8(4), uint8(3), uint8(8), false, false)
+	f.Add(uint64(42), uint8(8), uint8(2), uint8(2), true, true)
+	f.Add(uint64(7), uint8(2), uint8(5), uint8(4), false, true)
+	f.Fuzz(func(t *testing.T, seed uint64, threads, ops, pool uint8, useHoop, use2PL bool) {
+		cfg := Config{
+			Scheme:    engine.SchemeNative,
+			Policy:    cc.PolicyOCC,
+			Seed:      seed,
+			Threads:   int(threads%8) + 2,
+			Txs:       60,
+			PoolWords: int(pool%16) + 2,
+			OpsPerTx:  int(ops%5) + 1,
+			Theta:     1.1,
+		}
+		if useHoop {
+			cfg.Scheme = engine.SchemeHOOP
+		}
+		if use2PL {
+			cfg.Policy = cc.Policy2PL
+		}
+		h, sys, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := Check(h); err != nil {
+			t.Fatal(err)
+		}
+		if err := CheckFinalState(h, sys); err != nil {
+			t.Fatal(err)
+		}
+	})
+}

@@ -1,0 +1,35 @@
+package cc
+
+import "hoop/internal/mem"
+
+// OpKind distinguishes reads from writes in a recorded transaction.
+type OpKind uint8
+
+const (
+	OpRead  OpKind = iota // Val is the value the transaction observed
+	OpWrite               // Val is the value the transaction stored
+)
+
+// Op is one recorded word operation.
+type Op struct {
+	Kind OpKind    `json:"kind"`
+	Addr mem.PAddr `json:"addr"`
+	Val  uint64    `json:"val"`
+}
+
+// CommittedTx is one committed transaction as the serializability oracle
+// sees it: its reads and writes in program order (so read-after-own-write
+// replays correctly). Position in History.Commits is the commit order —
+// the order the policies serialize in (2PL releases locks at commit; OCC
+// validates and installs atomically at commit).
+type CommittedTx struct {
+	Thread  int  `json:"thread"`
+	Attempt int  `json:"attempt"` // 0 = committed on the first try
+	Ops     []Op `json:"ops"`
+}
+
+// History is a recorded concurrent execution.
+type History struct {
+	Commits []CommittedTx `json:"commits"` // in commit order
+	Aborts  int           `json:"aborts"`
+}

@@ -20,6 +20,14 @@ import (
 // has lost its teeth.
 const BuggySchemeName = "Buggy-CommitFirst"
 
+// BuggyAbortLeakName is the second negative control, aimed at the abort
+// path: its commit ordering is correct (data records first, marker last),
+// but TxAbort durably leaks the first buffered write to its home address
+// before dropping the write set. Recovery never touches home words without
+// a commit marker, so the leaked value survives every later crash point —
+// the abort-injecting oracle (Workload.AbortEvery > 0) must reject it.
+const BuggyAbortLeakName = "Buggy-AbortLeak"
+
 // Buggy log record payload: [flags|txid u64][word addr u64][value u64].
 const (
 	buggyPayload    = 24
@@ -27,6 +35,12 @@ const (
 )
 
 type buggyScheme struct {
+	name string
+	// commitFirst plants the ordering bug (marker before data);
+	// leakAborts plants the abort bug (first write escapes to home).
+	commitFirst bool
+	leakAborts  bool
+
 	ctx   persist.Context
 	alloc persist.TxnAllocator
 	ring  *logring.Ring
@@ -37,19 +51,31 @@ type buggyScheme struct {
 }
 
 func init() {
-	persist.Register(BuggySchemeName, func(ctx persist.Context, opt any) (persist.Scheme, error) {
-		if opt != nil {
-			return nil, fmt.Errorf("%s: scheme takes no options, got %T", BuggySchemeName, opt)
-		}
-		ring, err := logring.New(ctx.Layout.OOP, buggyPayload)
-		if err != nil {
-			return nil, err
-		}
-		return &buggyScheme{ctx: ctx, ring: ring, words: make([][]persist.WordUpdate, ctx.Cores), statTxCommitted: ctx.Stats.Counter(sim.StatTxCommitted)}, nil
-	})
+	register := func(name string, commitFirst, leakAborts bool) {
+		persist.Register(name, func(ctx persist.Context, opt any) (persist.Scheme, error) {
+			if opt != nil {
+				return nil, fmt.Errorf("%s: scheme takes no options, got %T", name, opt)
+			}
+			ring, err := logring.New(ctx.Layout.OOP, buggyPayload)
+			if err != nil {
+				return nil, err
+			}
+			return &buggyScheme{
+				name:            name,
+				commitFirst:     commitFirst,
+				leakAborts:      leakAborts,
+				ctx:             ctx,
+				ring:            ring,
+				words:           make([][]persist.WordUpdate, ctx.Cores),
+				statTxCommitted: ctx.Stats.Counter(sim.StatTxCommitted),
+			}, nil
+		})
+	}
+	register(BuggySchemeName, true, false)
+	register(BuggyAbortLeakName, false, true)
 }
 
-func (s *buggyScheme) Name() string { return BuggySchemeName }
+func (s *buggyScheme) Name() string { return s.name }
 
 func (s *buggyScheme) Properties() persist.Properties {
 	return persist.Properties{ReadLatency: "Low", OnCriticalPath: false, NeedFlushFence: true, WriteTraffic: "Medium"}
@@ -77,20 +103,46 @@ func (s *buggyScheme) appendRec(word1 uint64, addr mem.PAddr, val uint64) mem.PA
 	return at
 }
 
-// TxEnd contains the planted ordering bug: the commit marker is persisted
-// first, then the data records it vouches for.
+// TxEnd persists the transaction's log records. The commit-first variant
+// plants the ordering bug — marker persisted before the data records it
+// vouches for; the abort-leak variant orders correctly (data, drain,
+// marker).
 func (s *buggyScheme) TxEnd(core int, tx persist.TxID, now sim.Time) sim.Time {
 	if len(s.words[core]) > 0 {
-		at := s.appendRec(uint64(tx)|buggyCommitFlag, 0, 0)
-		now = s.ctx.Ctrl.Write(at, buggyPayload, now)
-		for _, w := range s.words[core] {
-			at := s.appendRec(uint64(tx), w.Addr, binary.LittleEndian.Uint64(w.Val[:]))
-			s.ctx.Ctrl.PostWrite(core, at, buggyPayload, now)
+		if s.commitFirst {
+			at := s.appendRec(uint64(tx)|buggyCommitFlag, 0, 0)
+			now = s.ctx.Ctrl.Write(at, buggyPayload, now)
+			for _, w := range s.words[core] {
+				at := s.appendRec(uint64(tx), w.Addr, binary.LittleEndian.Uint64(w.Val[:]))
+				s.ctx.Ctrl.PostWrite(core, at, buggyPayload, now)
+			}
+			now = s.ctx.Ctrl.Drain(core, now)
+		} else {
+			for _, w := range s.words[core] {
+				at := s.appendRec(uint64(tx), w.Addr, binary.LittleEndian.Uint64(w.Val[:]))
+				s.ctx.Ctrl.PostWrite(core, at, buggyPayload, now)
+			}
+			now = s.ctx.Ctrl.Drain(core, now)
+			at := s.appendRec(uint64(tx)|buggyCommitFlag, 0, 0)
+			now = s.ctx.Ctrl.Write(at, buggyPayload, now)
 		}
-		now = s.ctx.Ctrl.Drain(core, now)
 	}
 	s.words[core] = s.words[core][:0]
 	s.statTxCommitted.Inc()
+	return now
+}
+
+// TxAbort drops the volatile write set — which would be a correct abort
+// for a redo-style log — except that the abort-leak variant first writes
+// the set's first word durably to its home address, leaving exactly the
+// residue an abort must never leave.
+func (s *buggyScheme) TxAbort(core int, tx persist.TxID, now sim.Time) sim.Time {
+	if s.leakAborts && len(s.words[core]) > 0 {
+		w := s.words[core][0]
+		s.ctx.Dev.Store().Write(w.Addr, w.Val[:])
+		now = s.ctx.Ctrl.Write(w.Addr, len(w.Val), now)
+	}
+	s.words[core] = s.words[core][:0]
 	return now
 }
 

@@ -58,6 +58,12 @@ type Workload struct {
 	AddrWords int     // address pool: words 0..AddrWords-1 of the home region
 	EvictProb float64 // chance of an eviction after each transaction
 	Cores     int
+	// AbortEvery, when positive, aborts every AbortEvery-th transaction
+	// after its writes instead of committing it, exposing the abort path's
+	// own crash windows (undo rolling images home, log neutralization, OOP
+	// slice discard) to the journal. Aborted transactions must leave no
+	// durable residue at any crash point.
+	AbortEvery int
 }
 
 // DefaultWorkload is sized for exhaustive crash-point enumeration: small
@@ -68,14 +74,28 @@ func DefaultWorkload(seed uint64) Workload {
 	return Workload{Seed: seed, Txs: 8, MaxWords: 4, AddrWords: 96, EvictProb: 0.3, Cores: 2}
 }
 
+// AbortWorkload is DefaultWorkload with every third transaction aborting
+// after its writes, so exhaustive enumeration also lands crash points
+// inside each scheme's abort path (undo images rolling home, log
+// neutralization, OOP slice discard).
+func AbortWorkload(seed uint64) Workload {
+	w := DefaultWorkload(seed)
+	w.Txs = 9
+	w.AbortEvery = 3
+	return w
+}
+
 // TxRecord is one executed transaction: its final word image and the
 // journal window it occupied. BeginIdx is the journal length when the
 // transaction began; DurableIdx is the length when TxEnd returned, i.e.
-// the point from which the transaction must survive any crash.
+// the point from which the transaction must survive any crash. For an
+// aborted transaction DurableIdx is the length when TxAbort returned, and
+// the record's words must NOT survive any crash point.
 type TxRecord struct {
 	Words      map[mem.PAddr]uint64
 	BeginIdx   int
 	DurableIdx int
+	Aborted    bool
 }
 
 // Run is an executed workload plus everything needed to crash it anywhere.
@@ -141,8 +161,13 @@ func Execute(scheme string, w Workload) (*Run, error) {
 			words[mem.PAddr(r.Intn(w.AddrWords))*mem.WordSize] = r.Uint64()
 		}
 		begin := j.Len()
-		persisttest.RunTx(s, ctx, i%w.Cores, words)
-		run.Txs = append(run.Txs, TxRecord{Words: words, BeginIdx: begin, DurableIdx: j.Len()})
+		abort := w.AbortEvery > 0 && (i+1)%w.AbortEvery == 0
+		if abort {
+			persisttest.RunTxAbort(s, ctx, i%w.Cores, words)
+		} else {
+			persisttest.RunTx(s, ctx, i%w.Cores, words)
+		}
+		run.Txs = append(run.Txs, TxRecord{Words: words, BeginIdx: begin, DurableIdx: j.Len(), Aborted: abort})
 		for a := range words {
 			seen[a] = struct{}{}
 		}

@@ -64,6 +64,63 @@ func TestBuggySchemeRejected(t *testing.T) {
 	t.Logf("rejected as expected: %v", v)
 }
 
+// TestEnumerateAbortsAllSchemes extends exhaustive coverage to crash
+// points inside aborts: every third transaction aborts after its writes,
+// so the journal records each scheme's abort-path windows (undo images
+// rolling home, log neutralization, OOP slice discard) and every crash
+// point in them must recover to an image without the aborted writes.
+func TestEnumerateAbortsAllSchemes(t *testing.T) {
+	for _, scheme := range Schemes() {
+		scheme := scheme
+		t.Run(scheme, func(t *testing.T) {
+			t.Parallel()
+			w := AbortWorkload(1)
+			points, v := Enumerate(scheme, w)
+			if v != nil {
+				t.Fatalf("%v\nrepro: go run ./cmd/hoopcrash -scheme %s -mode exhaustive -seed %d -txs %d -abortevery %d", v, scheme, w.Seed, w.Txs, w.AbortEvery)
+			}
+			t.Logf("%d crash points with injected aborts, all consistent", points)
+		})
+	}
+}
+
+// TestRandomSchedulesWithAborts samples seeded abort-injecting workloads
+// with one random crash point each, for abort-path shapes a single seed's
+// enumeration cannot reach.
+func TestRandomSchedulesWithAborts(t *testing.T) {
+	n := 100
+	if testing.Short() {
+		n = 15
+	}
+	for _, scheme := range Schemes() {
+		scheme := scheme
+		t.Run(scheme, func(t *testing.T) {
+			t.Parallel()
+			if v := RandomSchedules(scheme, AbortWorkload(0), 300, n); v != nil {
+				t.Fatalf("%v\nrepro: go run ./cmd/hoopcrash -scheme %s -mode random -seed %d -seeds 1 -txs 9 -abortevery 3", v, scheme, v.Seed)
+			}
+		})
+	}
+}
+
+// TestAbortLeakSchemeRejected proves the abort oracle has teeth: the
+// scheme whose TxAbort durably leaks its first write must be caught. The
+// commit path of this scheme is correct, so it passes the abort-free
+// workload — only abort injection exposes it.
+func TestAbortLeakSchemeRejected(t *testing.T) {
+	if points, v := Enumerate(BuggyAbortLeakName, DefaultWorkload(1)); v != nil {
+		t.Fatalf("abort-leak scheme must pass the abort-free workload (its commit path is correct), failed at %d of %d points: %v", v.Point, points, v)
+	}
+	points, v := Enumerate(BuggyAbortLeakName, AbortWorkload(1))
+	if v == nil {
+		t.Fatalf("oracle accepted the abort-leaking scheme at all %d crash points", points)
+	}
+	if v.Point < 0 {
+		t.Fatalf("abort-leak scheme failed to execute rather than failing the oracle: %v", v)
+	}
+	t.Logf("rejected as expected: %v", v)
+}
+
 // TestEnumerateSecondSeed runs a second seed through two representative
 // schemes so exhaustive coverage is not hostage to one workload shape.
 func TestEnumerateSecondSeed(t *testing.T) {

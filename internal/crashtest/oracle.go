@@ -23,14 +23,29 @@ import (
 // commit as committed (its data is in the log) or roll it back — but it
 // must land entirely: any mix of two images is a torn-transaction leak.
 //
+// Aborted transactions never enter the image chain: whatever durable
+// traces their writes or their in-flight rollback left behind, recovery
+// must erase them at every crash point — an aborted value surviving to the
+// home region is an abort leak, and since every write is a fresh random
+// word, a leak never coincides with a committed image value.
+//
 // The Ideal scheme (no persistence mechanism) cannot meet this; it gets a
 // relaxed per-word check instead, documenting data loss rather than
-// claiming atomicity: every recovered word must hold a value that word had
-// in some image 0..mMax (no invented values).
+// claiming atomicity: every recovered word must hold a value some
+// transaction begun by k wrote there (or zero) — no invented values.
 func (run *Run) Check(k int, recovered *mem.Store) error {
 	k = run.Journal.AlignPoint(k)
-	mMin, mMax := 0, 0
+	if run.Scheme == native.SchemeName {
+		return run.checkRelaxed(k, recovered)
+	}
+	committed := make([]TxRecord, 0, len(run.Txs))
 	for _, tx := range run.Txs {
+		if !tx.Aborted {
+			committed = append(committed, tx)
+		}
+	}
+	mMin, mMax := 0, 0
+	for _, tx := range committed {
 		if tx.DurableIdx <= k {
 			mMin++
 		}
@@ -38,14 +53,11 @@ func (run *Run) Check(k int, recovered *mem.Store) error {
 			mMax++
 		}
 	}
-	if run.Scheme == native.SchemeName {
-		return run.checkRelaxed(k, recovered, mMax)
-	}
 
 	// Walk the candidate cuts incrementally: image holds image_mMin first,
-	// then one transaction is applied per step.
+	// then one committed transaction is applied per step.
 	image := make(map[mem.PAddr]uint64, len(run.Footprint))
-	for _, tx := range run.Txs[:mMin] {
+	for _, tx := range committed[:mMin] {
 		for a, v := range tx.Words {
 			image[a] = v
 		}
@@ -60,7 +72,7 @@ func (run *Run) Check(k int, recovered *mem.Store) error {
 		if m == mMax {
 			return fmt.Errorf("no consistent cut in [%d,%d] matches the recovered image: %w", mMin, mMax, firstErr)
 		}
-		for a, v := range run.Txs[m].Words {
+		for a, v := range committed[m].Words {
 			image[a] = v
 		}
 	}
@@ -79,14 +91,19 @@ func (run *Run) diff(recovered *mem.Store, image map[mem.PAddr]uint64, k, m int)
 }
 
 // checkRelaxed allows torn and lost data but not invented data: each
-// recovered footprint word must hold one of the values that word held in
-// images 0..mMax.
-func (run *Run) checkRelaxed(k int, recovered *mem.Store, mMax int) error {
+// recovered footprint word must hold a value some transaction begun by k
+// wrote there, or zero. Aborted transactions count too — the Ideal scheme
+// has no rollback machinery, so an aborted write may legitimately sit
+// durably home.
+func (run *Run) checkRelaxed(k int, recovered *mem.Store) error {
 	allowed := make(map[mem.PAddr]map[uint64]struct{}, len(run.Footprint))
 	for _, a := range run.Footprint {
 		allowed[a] = map[uint64]struct{}{0: {}}
 	}
-	for _, tx := range run.Txs[:mMax] {
+	for _, tx := range run.Txs {
+		if tx.BeginIdx >= k {
+			break
+		}
 		for a, v := range tx.Words {
 			allowed[a][v] = struct{}{}
 		}
@@ -94,8 +111,8 @@ func (run *Run) checkRelaxed(k int, recovered *mem.Store, mMax int) error {
 	for _, a := range run.Footprint {
 		got := recovered.ReadWord(a)
 		if _, ok := allowed[a][got]; !ok {
-			return fmt.Errorf("crash-point %d: home word %#x = %#x, which no image 0..%d ever held",
-				k, uint64(a), got, mMax)
+			return fmt.Errorf("crash-point %d: home word %#x = %#x, which no transaction begun by then ever wrote",
+				k, uint64(a), got)
 		}
 	}
 	return nil

@@ -1,0 +1,75 @@
+package engine_test
+
+import (
+	"testing"
+
+	"hoop/internal/engine"
+	"hoop/internal/mem"
+)
+
+// abortableSystem is smallSystem with the cc-layer abort machinery on.
+func abortableSystem(t *testing.T, scheme string) *engine.System {
+	t.Helper()
+	cfg := engine.DefaultConfig(scheme)
+	cfg.Cores, cfg.Threads, cfg.Cache.Cores = 2, 2, 2
+	cfg.Ctrl.Agents = 4
+	cfg.NVM.Capacity = 1 << 30
+	cfg.OOPBytes = 64 << 20
+	cfg.Hoop.CommitLogBytes = 1 << 20
+	cfg.Abortable = true
+	sys, err := engine.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+// TestAbortAccountingSurvivesWindowing closes the latent gap the harness
+// had before the cc layer landed: Metrics windows are computed as
+// Snapshot()/Delta() differences, and nothing asserted that aborts inside
+// a measure window are counted — or that aborts outside it are not.
+func TestAbortAccountingSurvivesWindowing(t *testing.T) {
+	for _, scheme := range []string{engine.SchemeNative, engine.SchemeHOOP} {
+		t.Run(scheme, func(t *testing.T) {
+			sys := abortableSystem(t, scheme)
+			env := sys.NewEnv(0)
+			runTx := func(abort bool) {
+				env.TxBegin()
+				env.WriteWord(mem.PAddr(0x1000), 0xABCD)
+				if abort {
+					env.TxAbort()
+				} else {
+					env.TxEnd()
+				}
+			}
+			// Pre-window traffic: 2 aborts, 1 commit.
+			runTx(true)
+			runTx(true)
+			runTx(false)
+			before := sys.Snapshot()
+			// In-window traffic: 3 aborts, 2 commits.
+			runTx(true)
+			runTx(false)
+			runTx(true)
+			runTx(true)
+			runTx(false)
+			after := sys.Snapshot()
+			// Post-window traffic must not leak into the delta.
+			runTx(true)
+
+			if got := after.Aborts; got != 5 {
+				t.Errorf("cumulative snapshot: Aborts = %d, want 5", got)
+			}
+			d := after.Delta(before)
+			if d.Aborts != 3 {
+				t.Errorf("window delta: Aborts = %d, want 3", d.Aborts)
+			}
+			if d.Txs != 2 {
+				t.Errorf("window delta: Txs = %d, want 2", d.Txs)
+			}
+			if final := sys.Snapshot(); final.Aborts != 6 {
+				t.Errorf("final snapshot: Aborts = %d, want 6", final.Aborts)
+			}
+		})
+	}
+}

@@ -76,6 +76,14 @@ type Config struct {
 	// tests can verify recovery; costs memory, off by default.
 	TrackOracle bool
 
+	// Abortable enables Env.TxAbort by capturing a pre-image of every
+	// transactional write into a per-thread arena so an abort can roll the
+	// volatile view back. The capture is one View.Read per store (no
+	// steady-state allocation), but it is off by default so the conflict-
+	// free configurations keep their locked hot-path budgets; the
+	// concurrency-control layer (internal/cc) turns it on.
+	Abortable bool
+
 	// OpCost is the computation time charged per load/store operation for
 	// the non-memory instructions surrounding it (hashing, comparisons,
 	// pointer arithmetic, function calls). The paper's McSimA+ platform
@@ -123,6 +131,27 @@ type writeRec struct {
 	data []byte
 }
 
+// undoLog is one thread's pre-image capture for Config.Abortable: a flat
+// byte arena plus span records, both reused across transactions so the
+// capture path performs no steady-state allocation.
+type undoLog struct {
+	buf   []byte
+	spans []undoSpan
+}
+
+// undoSpan locates one pre-image inside the arena.
+type undoSpan struct {
+	addr mem.PAddr
+	off  int
+	n    int
+}
+
+// reset rewinds the log for a new transaction, keeping capacity.
+func (u *undoLog) reset() {
+	u.buf = u.buf[:0]
+	u.spans = u.spans[:0]
+}
+
 // System is one fully wired simulated machine.
 type System struct {
 	cfg    Config
@@ -143,6 +172,7 @@ type System struct {
 	txOpen   []bool
 	txBegan  []sim.Time
 	txWrites [][]writeRec
+	undo     []undoLog
 
 	// Interned counter handles for the per-operation stats (one fires per
 	// load/store issued by workload code).
@@ -152,6 +182,7 @@ type System struct {
 	txLatSum  sim.Duration
 	txLatHist sim.Histogram
 	txCount   int64
+	txAborts  int64
 	loadOps   int64
 	storeOps  int64
 	crashed   bool
@@ -220,6 +251,9 @@ func New(cfg Config) (*System, error) {
 	}
 	if cfg.TrackOracle {
 		s.oracle = mem.NewStore()
+	}
+	if cfg.Abortable {
+		s.undo = make([]undoLog, cfg.Threads)
 	}
 	if h, ok := scheme.(persist.LoadHook); ok {
 		s.hook = h

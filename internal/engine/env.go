@@ -61,6 +61,9 @@ func (e *Env) TxBegin() {
 	s.txID[e.thread] = tx
 	s.txOpen[e.thread] = true
 	s.txBegan[e.thread] = clk.Now()
+	if s.undo != nil {
+		s.undo[e.thread].reset()
+	}
 	if s.tel.Enabled(telemetry.KindTxBegin) {
 		s.tel.Emit(telemetry.Event{
 			Kind: telemetry.KindTxBegin,
@@ -100,6 +103,48 @@ func (e *Env) TxEnd() {
 		for _, w := range s.txWrites[e.thread] {
 			s.oracle.Write(w.addr, w.data)
 		}
+	}
+	s.txWrites[e.thread] = s.txWrites[e.thread][:0]
+}
+
+// TxAbort abandons the open transaction (requires Config.Abortable): the
+// volatile view rolls back to its pre-transaction contents, then the
+// scheme discards or neutralizes its durable traces — HOOP's OOP slices
+// become dead garbage for free, undo logging restores old images in the
+// foreground, redo-style schemes just drop their write sets. Aborted
+// writes never reach the committed-write oracle.
+func (e *Env) TxAbort() {
+	s := e.sys
+	if !s.txOpen[e.thread] {
+		panic("engine: TxAbort without TxBegin")
+	}
+	if s.undo == nil {
+		panic("engine: TxAbort requires Config.Abortable")
+	}
+	clk := s.clocks[e.thread]
+	clk.AdvanceCycles(2) // clear transaction state bit
+	// Roll the view back in reverse write order so the oldest pre-image of
+	// a re-written address wins. This happens before the scheme hook: the
+	// persist.Scheme contract lets abort paths read restored pre-images
+	// from View (the undo baseline forces them home).
+	u := &s.undo[e.thread]
+	for i := len(u.spans) - 1; i >= 0; i-- {
+		sp := u.spans[i]
+		s.view.Write(sp.addr, u.buf[sp.off:sp.off+sp.n])
+	}
+	u.reset()
+	t := s.scheme.TxAbort(e.core, s.txID[e.thread], clk.Now())
+	clk.AdvanceTo(t)
+	s.txOpen[e.thread] = false
+	s.txAborts++
+	if s.tel.Enabled(telemetry.KindTxAbort) {
+		s.tel.Emit(telemetry.Event{
+			Kind: telemetry.KindTxAbort,
+			Time: clk.Now(),
+			Core: int16(e.thread),
+			Tx:   uint64(s.txID[e.thread]),
+			Aux:  int64(clk.Now() - s.txBegan[e.thread]),
+		})
 	}
 	s.txWrites[e.thread] = s.txWrites[e.thread][:0]
 }
@@ -152,6 +197,16 @@ func (e *Env) Write(addr mem.PAddr, data []byte) {
 	e.access(addr, len(data), true)
 	t := s.scheme.Store(e.core, s.txID[e.thread], addr, data, clk.Now())
 	clk.AdvanceTo(t)
+	if s.undo != nil {
+		// Capture the pre-image (the view is written below, after the
+		// scheme hook) so TxAbort can roll the view back. The arena append
+		// reserves the span; the read then fills it with the old bytes.
+		u := &s.undo[e.thread]
+		off := len(u.buf)
+		u.buf = append(u.buf, data...)
+		s.view.Read(addr, u.buf[off:off+len(data)])
+		u.spans = append(u.spans, undoSpan{addr: addr, off: off, n: len(data)})
+	}
 	if s.oracle != nil {
 		cp := make([]byte, len(data))
 		copy(cp, data)

@@ -101,6 +101,9 @@ func (s *System) Crash() {
 		s.txOpen[i] = false
 		s.txWrites[i] = nil
 	}
+	for i := range s.undo {
+		s.undo[i].reset()
+	}
 	s.crashed = true
 }
 

@@ -22,6 +22,9 @@ type RunSnapshot struct {
 	Span sim.Time `json:"span_ps"`
 	// Txs counts committed transactions.
 	Txs int64 `json:"txs"`
+	// Aborts counts aborted transactions (Env.TxAbort; conflict aborts
+	// under a concurrency-control policy land here).
+	Aborts int64 `json:"aborts"`
 	// Loads and Stores count workload memory operations.
 	Loads  int64 `json:"loads"`
 	Stores int64 `json:"stores"`
@@ -47,6 +50,7 @@ func (s *System) Snapshot() RunSnapshot {
 		Threads:       s.cfg.Threads,
 		Span:          s.MaxClock(),
 		Txs:           s.txCount,
+		Aborts:        s.txAborts,
 		Loads:         s.loadOps,
 		Stores:        s.storeOps,
 		TxLatencySum:  s.txLatSum,
@@ -100,6 +104,7 @@ func (r RunSnapshot) Delta(before RunSnapshot) RunSnapshot {
 	out := r
 	out.Span = r.Span - before.Span
 	out.Txs = r.Txs - before.Txs
+	out.Aborts = r.Aborts - before.Aborts
 	out.Loads = r.Loads - before.Loads
 	out.Stores = r.Stores - before.Stores
 	out.TxLatencySum = r.TxLatencySum - before.TxLatencySum

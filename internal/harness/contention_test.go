@@ -1,0 +1,107 @@
+package harness
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"hoop/internal/cc"
+	"hoop/internal/engine"
+)
+
+// contentionQuickOpts shrinks the sweep for tests: the full grid is
+// 7 schemes × 2 policies × 9 sweep points; quick mode keeps the grid
+// shape but cuts transactions per cell.
+func contentionQuickOpts(workers int) Options {
+	return Options{Quick: true, Seed: 1, Workers: workers}
+}
+
+// TestContentionFigureQuickGolden locks the quick-mode contention grids
+// to a checked-in golden, the same regime as TestQuickGridsGolden.
+// Regenerate deliberately with:
+//
+//	go test ./internal/harness -run TestContentionFigureQuickGolden -update
+func TestContentionFigureQuickGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("contention sweep is seconds-long")
+	}
+	tput, aborts, err := ContentionFigure(contentionQuickOpts(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	tput.Render(&b)
+	b.WriteString("\n")
+	aborts.Render(&b)
+	got := b.String()
+
+	path := filepath.Join("testdata", "contention_grids.golden")
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s", path)
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden (regenerate with -update): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("quick contention grids diverged from golden %s.\nIf a model change is intentional, regenerate with -update.\ngot:\n%s\nwant:\n%s",
+			path, got, want)
+	}
+}
+
+// TestContentionFigureWorkerDeterminism asserts the contention figure is
+// bit-identical serial vs parallel: each cell owns its system and PRNGs,
+// so only wall-clock may change with -workers.
+func TestContentionFigureWorkerDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the sweep twice")
+	}
+	render := func(workers int) string {
+		tput, aborts, err := ContentionFigure(contentionQuickOpts(workers))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tput.String() + "\n" + aborts.String()
+	}
+	serial := render(1)
+	parallel := render(4)
+	if serial != parallel {
+		t.Errorf("contention figure differs between workers=1 and workers=4:\nserial:\n%s\nparallel:\n%s", serial, parallel)
+	}
+}
+
+// TestContentionAbortsObserved guards against a vacuous sweep: at the
+// hottest sweep point, at least one scheme must see aborts under each
+// policy — otherwise the figure's abort-rate panel measures nothing.
+func TestContentionAbortsObserved(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs simulation cells")
+	}
+	for _, pol := range cc.Policies {
+		m, err := runContentionCell(contentionCell{
+			scheme:  engine.SchemeNative,
+			policy:  pol,
+			theta:   1.2,
+			threads: 8,
+			txs:     800,
+			seed:    1,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.Aborts == 0 {
+			t.Errorf("policy %s: no aborts at the hottest sweep point (theta=1.2, 8 threads)", pol)
+		}
+		if m.Txs == 0 {
+			t.Errorf("policy %s: no committed transactions measured", pol)
+		}
+	}
+}

@@ -58,6 +58,7 @@ func (o Options) txPerCell() int {
 // Metrics is one measurement window.
 type Metrics struct {
 	Txs          int64
+	Aborts       int64        // aborted transaction attempts in the window
 	Span         sim.Duration // wall-clock span of the window
 	LatencySum   sim.Duration
 	BytesWritten int64
@@ -89,6 +90,16 @@ func (m Metrics) Throughput() float64 {
 		return 0
 	}
 	return float64(m.Txs) / m.Span.Seconds()
+}
+
+// AbortRate reports the fraction of transaction attempts that aborted
+// (aborts / (commits + aborts)).
+func (m Metrics) AbortRate() float64 {
+	attempts := m.Txs + m.Aborts
+	if attempts == 0 {
+		return 0
+	}
+	return float64(m.Aborts) / float64(attempts)
 }
 
 // AvgLatency reports mean critical-path latency per transaction.
@@ -124,6 +135,7 @@ func window(before, after engine.RunSnapshot) Metrics {
 	counters := d.CounterMap()
 	return Metrics{
 		Txs:          d.Txs,
+		Aborts:       d.Aborts,
 		Span:         sim.Duration(d.Span),
 		LatencySum:   d.TxLatencySum,
 		BytesWritten: counters[sim.StatNVMBytesWritten],

@@ -26,13 +26,17 @@ type Report struct {
 	Fig11    *Grid
 	Fig12    *Grid
 	Fig13    *Grid
+	// Contention is the concurrency-control sweep (throughput and abort
+	// rate vs Zipfian theta × threads, all schemes × both cc policies).
+	Contention       *Grid
+	ContentionAborts *Grid
 }
 
 // Section names accepted by RunSections. "ablation" (HOOP variants with
 // packing/coalescing disabled and condensed mapping enabled) and
 // "fig7-9-1k" (the Table III 1 KB-item data sets) extend the paper's
 // artifacts and are not part of the default run.
-var AllSections = []string{"tables", "fig7-9", "tableIV", "fig10", "fig11", "fig12", "fig13", "area"}
+var AllSections = []string{"tables", "fig7-9", "tableIV", "fig10", "fig11", "fig12", "fig13", "contention", "area"}
 
 // ExtraSections are opt-in experiments beyond the paper's figures.
 var ExtraSections = []string{"ablation", "fig7-9-1k", "wear"}
@@ -168,6 +172,19 @@ func RunSections(w io.Writer, opts Options, sections []string) (*Report, error) 
 		}
 		rep.Fig13 = g
 		render("figure13", g)
+		done()
+	}
+
+	if want["contention"] {
+		done := stamp("Contention sweep (cc policies: OCC vs wound-wait 2PL)")
+		tput, aborts, err := ContentionFigure(opts)
+		if err != nil {
+			return rep, err
+		}
+		rep.Contention, rep.ContentionAborts = tput, aborts
+		render("contention-throughput", tput)
+		fmt.Fprintln(w)
+		render("contention-aborts", aborts)
 		done()
 	}
 

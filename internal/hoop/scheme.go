@@ -114,6 +114,9 @@ type Scheme struct {
 	gcAddrs []uint64
 	gcStale []uint64
 
+	// abortScratch collects line keys to drop during TxAbort (reused).
+	abortScratch []uint64
+
 	// Interned counter handles for per-event accounting (slice flushes,
 	// commits, read-path and GC traffic fire on every hot-path event).
 	statSliceFlushes  *sim.Counter
@@ -576,6 +579,54 @@ func (s *Scheme) TxEnd(core int, tx persist.TxID, now sim.Time) sim.Time {
 	}
 	cs.tx = 0 // buffers are empty (flushed above); reset(tx) rewinds the rest
 	s.statTxCommitted.Inc()
+	return now
+}
+
+// TxAbort implements persist.Scheme — and is where out-of-place update
+// pays off. The transaction's durable traces are only its memory slices in
+// the OOP region; no commit record was written, so recovery (which replays
+// the commit log alone) can never see them, and the GC (which scans only
+// committed pending chains) never migrates them. The abort therefore just
+// drops the SRAM buffers and releases the dead slices' block accounting so
+// their space recycles — no NVM write, no drain, no rollback traffic.
+func (s *Scheme) TxAbort(core int, tx persist.TxID, now sim.Time) sim.Time {
+	cs := &s.cores[core]
+	if cs.tx != tx {
+		panic("hoop: TxAbort for inactive transaction")
+	}
+	// Release the already-flushed slices: with no pending chain coming,
+	// the blocks' live counts drop now and the space reclaims when the
+	// blocks' other occupants retire.
+	for m := range cs.mc {
+		for _, bc := range cs.mc[m].txBlocks {
+			s.blocks[bc.block].live -= bc.n
+		}
+	}
+	// Drop line tracking whose newest writer is the aborted transaction:
+	// those entries point at dead slices, and a later eviction must not
+	// index them in the mapping table. (Older committed-but-unmigrated
+	// words of the same lines remain reachable through the commit log; the
+	// GC migrates them regardless of this volatile tracking.)
+	stale := s.abortScratch[:0]
+	s.lines.Range(func(line uint64, ls *lineState) bool {
+		if ls.writer == tx {
+			stale = append(stale, line)
+		}
+		return true
+	})
+	s.abortScratch = stale
+	for _, line := range stale {
+		s.lines.Delete(line)
+	}
+	// Un-index mapping-table entries created by evictions of this
+	// transaction's lines — they too point at dead slices.
+	for _, line := range cs.evicted {
+		if e, ok := s.table.lookup(line); ok && e.ownerTx == tx {
+			s.table.remove(line)
+			s.blocks[e.block].mapRefs--
+		}
+	}
+	cs.reset(0)
 	return now
 }
 

@@ -23,8 +23,10 @@ import (
 )
 
 // TxID identifies a transaction. IDs are assigned by the memory controller
-// at Tx_begin (§III-D of the paper) and are strictly increasing, so a
-// larger TxID always means a later commit order.
+// at Tx_begin (§III-D of the paper) and are strictly increasing in *begin*
+// order. Without a concurrency-control layer transactions also commit in
+// that order; with one (internal/cc) commits may interleave, so schemes
+// must order durable state by log-append position, never by TxID.
 type TxID uint64
 
 // Context bundles the shared machinery a scheme operates on.
@@ -71,6 +73,16 @@ type Scheme interface {
 	// TxEnd commits tx, returning the time at which the transaction is
 	// durable (all commit-path flushes and fences done).
 	TxEnd(core int, tx TxID, now sim.Time) sim.Time
+
+	// TxAbort tears down tx without committing, returning the time at
+	// which the abort work completes. The engine has already rolled the
+	// volatile View back to its pre-transaction contents, so schemes may
+	// read restored pre-images from View (mirroring how undo-style
+	// schemes read pre-store values during Store). The scheme must
+	// discard or neutralize every durable trace of tx so that a crash at
+	// any point — before, during, or after the abort — never resurrects
+	// the aborted writes through Recover.
+	TxAbort(core int, tx TxID, now sim.Time) sim.Time
 
 	// ReadMiss services an LLC miss for the line containing addr: the
 	// scheme routes the fill (home region, OOP region, log, shadow

@@ -93,6 +93,31 @@ func RunTx(s persist.Scheme, ctx persist.Context, core int, words map[mem.PAddr]
 	s.TxEnd(core, tx, now)
 }
 
+// RunTxAbort performs one transaction of word writes and then aborts it,
+// honouring the engine's abort contract: the volatile view is rolled back
+// to the pre-images BEFORE the scheme's TxAbort hook runs (the engine
+// unwinds its undo log first, so schemes that restore durable state must
+// do so from their own records, never from the view).
+func RunTxAbort(s persist.Scheme, ctx persist.Context, core int, words map[mem.PAddr]uint64) {
+	tx, now := s.TxBegin(core, 0)
+	addrs := sortedAddrs(words)
+	pre := make([][8]byte, len(addrs))
+	for i, a := range addrs {
+		ctx.View.Read(a, pre[i][:])
+		var buf [8]byte
+		v := words[a]
+		for k := 0; k < 8; k++ {
+			buf[k] = byte(v >> (8 * uint(k)))
+		}
+		now = s.Store(core, tx, a, buf[:], now)
+		ctx.View.Write(a, buf[:])
+	}
+	for i := len(addrs) - 1; i >= 0; i-- {
+		ctx.View.Write(addrs[i], pre[i][:])
+	}
+	s.TxAbort(core, tx, now)
+}
+
 func sortedAddrs(words map[mem.PAddr]uint64) []mem.PAddr {
 	addrs := make([]mem.PAddr, 0, len(words))
 	for a := range words {
