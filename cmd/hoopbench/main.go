@@ -26,6 +26,8 @@ func main() {
 	quick := flag.Bool("quick", false, "run reduced-size experiments (seconds instead of minutes)")
 	charts := flag.Bool("charts", false, "also render each grid as ASCII bar charts")
 	artifacts := flag.String("artifacts", "", "directory to write per-figure JSON artifacts into")
+	cachedir := flag.String("cachedir", "", "directory memoizing matrix cells across runs (created if missing; reruns only execute cells whose inputs changed)")
+	direct := flag.Bool("directmatrix", false, "run every matrix cell by direct workload execution instead of record-once/replay-many")
 	sections := flag.String("sections", strings.Join(harness.AllSections, ","),
 		"comma-separated experiment sections to run (extras: "+strings.Join(harness.ExtraSections, ", ")+")")
 	flag.Parse()
@@ -36,7 +38,8 @@ func main() {
 	}
 	defer stopProfiles()
 
-	opts := harness.Options{Quick: *quick, Seed: common.Seed, Charts: *charts, ArtifactDir: *artifacts, Workers: common.Workers}
+	opts := harness.Options{Quick: *quick, Seed: common.Seed, Charts: *charts, ArtifactDir: *artifacts,
+		Workers: common.Workers, CacheDir: *cachedir, DirectMatrix: *direct}
 	if common.Trace != "" {
 		opts.Trace = &harness.TraceCollector{}
 	}

@@ -19,6 +19,7 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -36,6 +37,7 @@ import (
 	"hoop/internal/mem"
 	"hoop/internal/persist"
 	"hoop/internal/sim"
+	"hoop/internal/trace"
 	"hoop/internal/workload"
 )
 
@@ -214,6 +216,51 @@ func benchmarks() map[string]func(b *testing.B) {
 				}
 				env.TxEnd()
 				q.Quiesce(env.Now())
+			}
+		},
+		// One recorded 4-word transaction reissued through trace.ApplyOp —
+		// the per-transaction cost of the record-once/replay-many matrix
+		// pipeline (capture outside the timer, replay inside). Steady-state
+		// budget is zero allocations: decoded ops and the load scratch
+		// buffer are reused across iterations.
+		"replay_txs": func(b *testing.B) {
+			var buf bytes.Buffer
+			rec := trace.NewRecorder(&buf)
+			src := engineForBench(b)
+			src.Subscribe(rec, trace.RecordMask)
+			env := src.NewEnv(0)
+			const span = 1 << 20
+			const captured = 256
+			for i := 0; i < captured; i++ {
+				base := mem.PAddr(uint64(i) * 4 * mem.WordSize % span)
+				env.TxBegin()
+				for w := 0; w < 4; w++ {
+					env.WriteWord(base+mem.PAddr(w*mem.WordSize), uint64(i))
+				}
+				env.TxEnd()
+			}
+			if err := rec.Flush(); err != nil {
+				b.Fatal(err)
+			}
+			ops, err := trace.NewReader(&buf).ReadAll()
+			if err != nil {
+				b.Fatal(err)
+			}
+			txs, err := trace.SplitTxs(ops, 1)
+			if err != nil || len(txs[0]) != captured {
+				b.Fatalf("split: %v (%d txs)", err, len(txs))
+			}
+			sys := engineForBench(b)
+			denv := sys.NewEnv(0)
+			var scratch []byte
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for _, op := range txs[0][i%captured] {
+					scratch, err = trace.ApplyOp(denv, op, scratch)
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
 			}
 		},
 	}

@@ -1,0 +1,195 @@
+package harness
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"hoop/internal/engine"
+	"hoop/internal/workload"
+)
+
+// cacheSchema versions the on-disk cell cache. Bump it whenever the
+// simulator's measured semantics change in a way the config string cannot
+// express (engine scheduling, scheme internals, metric definitions): the
+// version participates in every key, so a bump invalidates everything.
+const cacheSchema = "hoop-cellcache/v1"
+
+// cellCache memoizes matrix cells on disk. A capture cell is keyed by
+// everything that determines its op stream and metrics (workload, seed,
+// txs, workload tuning, full engine config); a replay cell is keyed by the
+// capture's content hash plus its own config. Cached metrics round-trip
+// through JSON exactly (sim.Histogram included), so a warm rerun renders
+// byte-identical grids. All cache I/O happens on the orchestrator
+// goroutine between cell batches — workers never touch it.
+type cellCache struct {
+	dir    string
+	hits   int
+	misses int
+}
+
+// openCellCache returns nil when caching is off. Tracing disables the
+// cache: a cached cell executes nothing, so it cannot feed a JSONL sink.
+func openCellCache(opts Options) (*cellCache, error) {
+	if opts.CacheDir == "" || opts.Trace != nil {
+		return nil, nil
+	}
+	if err := os.MkdirAll(opts.CacheDir, 0o755); err != nil {
+		return nil, fmt.Errorf("harness: -cachedir: %w", err)
+	}
+	return &cellCache{dir: opts.CacheDir}, nil
+}
+
+// configCacheKey canonicalizes the post-Mut engine config. Config is all
+// value fields, so %+v is deterministic — except SchemeOpts, whose map
+// iteration order is not: cells carrying SchemeOpts are simply not cached.
+func configCacheKey(scheme string, mut func(*engine.Config)) (string, bool) {
+	cfg := engine.DefaultConfig(scheme)
+	if mut != nil {
+		mut(&cfg)
+	}
+	if cfg.SchemeOpts != nil {
+		return "", false
+	}
+	return fmt.Sprintf("%+v", cfg), true
+}
+
+func (cc *cellCache) captureKey(c Cell) (string, bool) {
+	if c.Sink != nil {
+		return "", false
+	}
+	cfg, ok := configCacheKey(c.Scheme, c.Mut)
+	if !ok {
+		return "", false
+	}
+	h := sha256.New()
+	fmt.Fprintf(h, "%s\ncapture\nworkload=%s\nseed=%d\ntxs=%d\ntuning=%+v\nconfig=%s\n",
+		cacheSchema, c.Workload.Name, c.Seed, c.Txs, workload.Tuning, cfg)
+	return hex.EncodeToString(h.Sum(nil)), true
+}
+
+func (cc *cellCache) replayKey(c Cell, col *matrixColumn) (string, bool) {
+	if c.Sink != nil || col.hash == "" {
+		return "", false
+	}
+	cfg, ok := configCacheKey(c.Scheme, c.Mut)
+	if !ok {
+		return "", false
+	}
+	h := sha256.New()
+	fmt.Fprintf(h, "%s\nreplay\ntrace=%s\nsetupops=%d\ntxs=%d\nconfig=%s\n",
+		cacheSchema, col.hash, col.setupOps, c.Txs, cfg)
+	return hex.EncodeToString(h.Sum(nil)), true
+}
+
+// captureEntry is the JSON sidecar of a cached capture cell; the trace
+// wire bytes live next to it in <key>.trc.
+type captureEntry struct {
+	Schema    string  `json:"schema"`
+	Workload  string  `json:"workload"`
+	Threads   int     `json:"threads"`
+	SetupOps  int     `json:"setup_ops"`
+	TraceHash string  `json:"trace_hash"`
+	Metrics   Metrics `json:"metrics"`
+}
+
+type replayEntry struct {
+	Schema  string  `json:"schema"`
+	Scheme  string  `json:"scheme"`
+	Metrics Metrics `json:"metrics"`
+}
+
+func (cc *cellCache) tracePath(key string) string {
+	return filepath.Join(cc.dir, key+".trc")
+}
+
+// loadCapture returns the cached capture entry, or miss on any problem —
+// missing files, wrong schema, wrong workload — so corruption degrades to
+// re-execution, never to wrong numbers.
+func (cc *cellCache) loadCapture(key, workloadName string) (*captureEntry, bool) {
+	raw, err := os.ReadFile(filepath.Join(cc.dir, key+".json"))
+	if err != nil {
+		cc.misses++
+		return nil, false
+	}
+	var e captureEntry
+	if err := json.Unmarshal(raw, &e); err != nil || e.Schema != cacheSchema || e.Workload != workloadName ||
+		e.Threads <= 0 || e.TraceHash == "" {
+		cc.misses++
+		return nil, false
+	}
+	if _, err := os.Stat(cc.tracePath(key)); err != nil {
+		cc.misses++
+		return nil, false
+	}
+	cc.hits++
+	return &e, true
+}
+
+func (cc *cellCache) storeCapture(key string, col *matrixColumn, wire []byte, met Metrics) error {
+	e := captureEntry{
+		Schema:    cacheSchema,
+		Workload:  col.workload,
+		Threads:   col.threads,
+		SetupOps:  col.setupOps,
+		TraceHash: col.hash,
+		Metrics:   met,
+	}
+	data, err := json.Marshal(e)
+	if err != nil {
+		return fmt.Errorf("harness: cache: %w", err)
+	}
+	if err := cc.writeFile(key+".trc", wire); err != nil {
+		return err
+	}
+	return cc.writeFile(key+".json", data)
+}
+
+func (cc *cellCache) loadReplay(key string) (Metrics, bool) {
+	raw, err := os.ReadFile(filepath.Join(cc.dir, key+".json"))
+	if err != nil {
+		cc.misses++
+		return Metrics{}, false
+	}
+	var e replayEntry
+	if err := json.Unmarshal(raw, &e); err != nil || e.Schema != cacheSchema {
+		cc.misses++
+		return Metrics{}, false
+	}
+	cc.hits++
+	return e.Metrics, true
+}
+
+func (cc *cellCache) storeReplay(key, scheme string, met Metrics) error {
+	data, err := json.Marshal(replayEntry{Schema: cacheSchema, Scheme: scheme, Metrics: met})
+	if err != nil {
+		return fmt.Errorf("harness: cache: %w", err)
+	}
+	return cc.writeFile(key+".json", data)
+}
+
+// writeFile writes via a temp file + rename so an interrupted run never
+// leaves a half-written entry a later run could load.
+func (cc *cellCache) writeFile(name string, data []byte) error {
+	tmp, err := os.CreateTemp(cc.dir, name+".tmp*")
+	if err != nil {
+		return fmt.Errorf("harness: cache: %w", err)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("harness: cache: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("harness: cache: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), filepath.Join(cc.dir, name)); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("harness: cache: %w", err)
+	}
+	return nil
+}

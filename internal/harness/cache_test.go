@@ -1,0 +1,113 @@
+package harness
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"hoop/internal/engine"
+	"hoop/internal/workload"
+)
+
+// TestCellCacheWarmRerun: a cold run populates the cache, a warm rerun
+// executes zero cells, and the warm metrics are bit-identical — the
+// property the CI cache-correctness job holds hoopbench to.
+func TestCellCacheWarmRerun(t *testing.T) {
+	defer QuickTuning()()
+	dir := t.TempDir()
+	opts := Options{Quick: true, Seed: 3, Workers: 2, CacheDir: dir}
+	wls := []workload.Workload{workload.QueueWL(64), workload.HashMapWL(64)}
+	schemes := []string{engine.SchemeRedo, engine.SchemeHOOP, engine.SchemeNative}
+
+	cold, err := RunMatrixOn(opts, wls, schemes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.Stats.Cached != 0 {
+		t.Fatalf("cold run reported %d cached cells", cold.Stats.Cached)
+	}
+	warm, err := RunMatrixOn(opts, wls, schemes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Stats.Cached != warm.Stats.Cells || warm.Stats.Cells != len(wls)*len(schemes) {
+		t.Fatalf("warm run cached %d/%d cells, want all %d", warm.Stats.Cached, warm.Stats.Cells, len(wls)*len(schemes))
+	}
+	if !reflect.DeepEqual(cold.Cells, warm.Cells) {
+		t.Fatalf("warm cache metrics diverge from cold run\ncold: %+v\nwarm: %+v", cold.Cells, warm.Cells)
+	}
+	if !strings.Contains(warm.Stats.String(), "cached") {
+		t.Fatalf("stats string omits the cache count: %s", warm.Stats)
+	}
+
+	// Changing any key input — here the seed — must miss.
+	opts2 := opts
+	opts2.Seed = 4
+	reseeded, err := RunMatrixOn(opts2, wls, schemes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reseeded.Stats.Cached != 0 {
+		t.Fatalf("reseeded run hit the cache (%d cells) despite a different seed", reseeded.Stats.Cached)
+	}
+}
+
+// TestCellCacheCorruptionDegradesToMiss: corrupt entries re-execute
+// instead of feeding wrong numbers, and a corrupt trace file fails loudly
+// rather than replaying garbage.
+func TestCellCacheCorruptionDegradesToMiss(t *testing.T) {
+	defer QuickTuning()()
+	dir := t.TempDir()
+	opts := Options{Quick: true, Seed: 3, Workers: 1, CacheDir: dir}
+	wls := []workload.Workload{workload.QueueWL(64)}
+	schemes := []string{engine.SchemeRedo, engine.SchemeHOOP}
+
+	cold, err := RunMatrixOn(opts, wls, schemes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries, err := filepath.Glob(filepath.Join(dir, "*.json"))
+	if err != nil || len(entries) != 2 {
+		t.Fatalf("expected 2 cache entries, got %v (%v)", entries, err)
+	}
+	for _, p := range entries {
+		if err := os.WriteFile(p, []byte("{not json"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	warm, err := RunMatrixOn(opts, wls, schemes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Stats.Cached != 0 {
+		t.Fatalf("corrupt entries still hit: %d cached", warm.Stats.Cached)
+	}
+	if !reflect.DeepEqual(cold.Cells, warm.Cells) {
+		t.Fatal("re-executed metrics diverge from cold run")
+	}
+
+	// Now corrupt the trace payload under a valid meta entry: the replay
+	// stage must refuse it via the content hash.
+	traces, err := filepath.Glob(filepath.Join(dir, "*.trc"))
+	if err != nil || len(traces) != 1 {
+		t.Fatalf("expected 1 cached trace, got %v (%v)", traces, err)
+	}
+	if err := os.WriteFile(traces[0], []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Remove the replay entry so the column must reload its trace file.
+	for _, p := range entries {
+		raw, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if strings.Contains(string(raw), `"scheme"`) {
+			os.Remove(p)
+		}
+	}
+	if _, err := RunMatrixOn(opts, wls, schemes); err == nil || !strings.Contains(err.Error(), "content hash") {
+		t.Fatalf("corrupt cached trace must fail its hash check, got %v", err)
+	}
+}

@@ -32,6 +32,10 @@ type Cell struct {
 	// locking even under parallel RunCells.
 	Sink     telemetry.Sink
 	SinkMask telemetry.Mask
+	// Exec, when non-nil, replaces the default direct execution (build a
+	// system, run the workload, measure). The matrix pipeline uses it to
+	// run capture and replay cells through the same worker pool.
+	Exec func(Cell) (Metrics, error)
 }
 
 // CellStats summarizes one worker-pool run over a batch of cells.
@@ -44,6 +48,26 @@ type CellStats struct {
 	Wall    time.Duration
 	CellSum time.Duration
 	MaxCell time.Duration
+	// Cached counts cells whose results came from the on-disk cell cache
+	// instead of executing (included in Cells, excluded from the timing
+	// fields).
+	Cached int
+}
+
+// merge folds a second batch's pool stats into s (the matrix pipeline runs
+// captures and replays as separate batches).
+func (s CellStats) merge(o CellStats) CellStats {
+	s.Cells += o.Cells
+	s.Cached += o.Cached
+	s.Wall += o.Wall
+	s.CellSum += o.CellSum
+	if o.MaxCell > s.MaxCell {
+		s.MaxCell = o.MaxCell
+	}
+	if o.Workers > s.Workers {
+		s.Workers = o.Workers
+	}
+	return s
 }
 
 // Speedup reports CellSum / Wall — how much faster the batch ran than a
@@ -57,11 +81,15 @@ func (s CellStats) Speedup() float64 {
 
 func (s CellStats) String() string {
 	avg := time.Duration(0)
-	if s.Cells > 0 {
-		avg = s.CellSum / time.Duration(s.Cells)
+	if run := s.Cells - s.Cached; run > 0 {
+		avg = s.CellSum / time.Duration(run)
 	}
-	return fmt.Sprintf("%d cells on %d workers: wall %.1fs, serial-equivalent %.1fs (%.1fx), avg cell %.2fs, max cell %.2fs",
+	out := fmt.Sprintf("%d cells on %d workers: wall %.1fs, serial-equivalent %.1fs (%.1fx), avg cell %.2fs, max cell %.2fs",
 		s.Cells, s.Workers, s.Wall.Seconds(), s.CellSum.Seconds(), s.Speedup(), avg.Seconds(), s.MaxCell.Seconds())
+	if s.Cached > 0 {
+		out += fmt.Sprintf(", %d cached", s.Cached)
+	}
+	return out
 }
 
 // RunCells executes every cell on a bounded worker pool and returns the
@@ -96,7 +124,11 @@ func RunCells(cells []Cell, workers int) ([]Metrics, CellStats, error) {
 				}
 				c := cells[i]
 				cellStart := time.Now()
-				results[i], errs[i] = runCell(c)
+				if c.Exec != nil {
+					results[i], errs[i] = c.Exec(c)
+				} else {
+					results[i], errs[i] = runCell(c)
+				}
 				walls[i] = time.Since(cellStart)
 			}
 		}()

@@ -26,8 +26,21 @@ func RunMatrix(opts Options) (*Matrix, error) {
 }
 
 // RunMatrixOn measures the given workloads on the given schemes, executing
-// the independent cells on opts.Workers workers.
+// the independent cells on opts.Workers workers. By default each workload
+// column executes once — on the first scheme, recorded into a binary
+// trace — and the remaining schemes replay the capture (see replay.go);
+// opts.DirectMatrix restores per-cell direct execution. Results are
+// bit-identical either way, and bit-identical at every worker count.
 func RunMatrixOn(opts Options, workloads []workload.Workload, schemes []string) (*Matrix, error) {
+	if opts.DirectMatrix || len(workloads) == 0 || len(schemes) == 0 {
+		return runMatrixDirect(opts, workloads, schemes)
+	}
+	return runMatrixReplay(opts, workloads, schemes)
+}
+
+// runMatrixDirect measures every (workload, scheme) cell by direct
+// workload execution — the pre-replay pipeline.
+func runMatrixDirect(opts Options, workloads []workload.Workload, schemes []string) (*Matrix, error) {
 	var cells []Cell
 	for _, w := range workloads {
 		for _, s := range schemes {
@@ -39,6 +52,148 @@ func RunMatrixOn(opts Options, workloads []workload.Workload, schemes []string) 
 	if err != nil {
 		return nil, err
 	}
+	return assembleMatrix(cells, mets, stats, schemes), nil
+}
+
+// runMatrixReplay is the record-once/replay-many pipeline: stage 1 runs
+// one capture cell per workload column (the first scheme, recorded);
+// stage 2 replays every capture against the remaining schemes. Both
+// stages go through the same RunCells worker pool, and the optional cell
+// cache (opts.CacheDir) short-circuits any cell whose inputs are already
+// memoized. Cache I/O and column finalization happen on this goroutine,
+// between batches, so workers share columns read-only.
+func runMatrixReplay(opts Options, workloads []workload.Workload, schemes []string) (*Matrix, error) {
+	cache, err := openCellCache(opts)
+	if err != nil {
+		return nil, err
+	}
+	ns := len(schemes)
+	cells := make([]Cell, 0, len(workloads)*ns)
+	for _, w := range workloads {
+		for _, s := range schemes {
+			cells = append(cells, Cell{Scheme: s, Workload: w, Txs: opts.txPerCell(), Seed: opts.Seed + 1})
+		}
+	}
+	// Attach trace sinks in the same workload-major order as the direct
+	// pipeline, so -trace output stays byte-identical.
+	opts.attachTrace("matrix", cells)
+
+	mets := make([]Metrics, len(cells))
+	cols := make([]*matrixColumn, len(workloads))
+	cached := 0
+
+	// Stage 1: one capture cell per column.
+	var batch []Cell
+	var batchIdx []int
+	for i := range workloads {
+		ci := i * ns
+		col := &matrixColumn{workload: workloads[i].Name}
+		cols[i] = col
+		if cache != nil {
+			if key, ok := cache.captureKey(cells[ci]); ok {
+				col.capKey = key
+				if ent, hit := cache.loadCapture(key, workloads[i].Name); hit {
+					mets[ci] = ent.Metrics
+					col.threads, col.setupOps, col.hash = ent.Threads, ent.SetupOps, ent.TraceHash
+					col.tracePath = cache.tracePath(key)
+					cached++
+					continue
+				}
+			}
+		}
+		c := cells[ci]
+		c.Exec = func(cell Cell) (Metrics, error) {
+			met, cap, _, err := captureCellRun(cell)
+			if err != nil {
+				return Metrics{}, err
+			}
+			col.cap = cap
+			return met, nil
+		}
+		batch = append(batch, c)
+		batchIdx = append(batchIdx, ci)
+	}
+	res, stats, err := RunCells(batch, opts.workers())
+	if err != nil {
+		return nil, err
+	}
+	for k, ci := range batchIdx {
+		mets[ci] = res[k]
+	}
+	for i, col := range cols {
+		if col.cap == nil {
+			continue // restored from cache
+		}
+		wire, err := col.finalizeFromCapture(cache != nil && col.capKey != "")
+		if err != nil {
+			return nil, err
+		}
+		if wire != nil {
+			if err := cache.storeCapture(col.capKey, col, wire, mets[i*ns]); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// Stage 2: replay every capture against the remaining schemes.
+	batch, batchIdx = batch[:0], batchIdx[:0]
+	var batchKey []string
+	for i := range workloads {
+		col := cols[i]
+		for j := 1; j < ns; j++ {
+			ci := i*ns + j
+			key := ""
+			if cache != nil {
+				if k, ok := cache.replayKey(cells[ci], col); ok {
+					key = k
+					if met, hit := cache.loadReplay(k); hit {
+						mets[ci] = met
+						cached++
+						continue
+					}
+				}
+			}
+			if col.measured == nil {
+				// Cached column whose replays are not all cached yet:
+				// restore the op stream from the cached trace file.
+				if err := col.loadFromFile(); err != nil {
+					return nil, err
+				}
+			}
+			c := cells[ci]
+			c.Exec = func(cell Cell) (Metrics, error) {
+				met, _, err := replayCellRun(cell, col)
+				return met, err
+			}
+			batch = append(batch, c)
+			batchIdx = append(batchIdx, ci)
+			batchKey = append(batchKey, key)
+		}
+	}
+	res, stats2, err := RunCells(batch, opts.workers())
+	if err != nil {
+		return nil, err
+	}
+	for k, ci := range batchIdx {
+		mets[ci] = res[k]
+		if cache != nil && batchKey[k] != "" {
+			if err := cache.storeReplay(batchKey[k], cells[ci].Scheme, res[k]); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	stats = stats.merge(stats2)
+	stats.Cells = len(cells)
+	stats.Cached = cached
+	if stats.Workers == 0 {
+		stats.Workers = opts.workers()
+	}
+	return assembleMatrix(cells, mets, stats, schemes), nil
+}
+
+// assembleMatrix indexes per-cell metrics into the workload × scheme map.
+func assembleMatrix(cells []Cell, mets []Metrics, stats CellStats, schemes []string) *Matrix {
 	m := &Matrix{Cells: map[string]map[string]Metrics{}, Stats: stats}
 	for i, c := range cells {
 		if m.Cells[c.Workload.Name] == nil {
@@ -48,7 +203,7 @@ func RunMatrixOn(opts Options, workloads []workload.Workload, schemes []string) 
 		m.Cells[c.Workload.Name][c.Scheme] = mets[i]
 	}
 	m.Schemes = append(m.Schemes, schemes...)
-	return m, nil
+	return m
 }
 
 // Figure7a renders normalized transaction throughput (Figure 7a: higher is

@@ -37,6 +37,16 @@ type Options struct {
 	// Trace, when non-nil, collects a JSONL telemetry trace from every
 	// cell (hoopbench -trace). Output is identical for every worker count.
 	Trace *TraceCollector
+	// CacheDir, when non-empty, memoizes matrix cells on disk (hoopbench
+	// -cachedir): a rerun only executes cells whose inputs — trace
+	// content, scheme, engine config, workload tuning — changed. Tracing
+	// disables the cache, since a cached cell emits no events.
+	CacheDir string
+	// DirectMatrix bypasses the record-once/replay-many matrix pipeline
+	// and runs every (workload, scheme) cell by direct workload execution
+	// (hoopbench -directmatrix). Results are bit-identical either way;
+	// this exists as an escape hatch and for equivalence testing.
+	DirectMatrix bool
 }
 
 // workers resolves the effective worker count (<=0 → GOMAXPROCS).

@@ -1,0 +1,204 @@
+package harness
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"os"
+
+	"hoop/internal/engine"
+	"hoop/internal/telemetry"
+	"hoop/internal/trace"
+	"hoop/internal/workload"
+)
+
+// The record-once/replay-many matrix pipeline. Each (workload, seed)
+// column of the Figure 7–9 matrix executes its workload logic exactly
+// once — on the first scheme, with a trace.Recorder subscribed — and every
+// other scheme's cell replays the captured op stream instead of re-running
+// B-tree rebalances, Zipfian draws, or TPC-C logic. Replay is faithful
+// because the engine's functional view is scheme-independent and the
+// paper-suite workloads are per-thread partitioned: each thread's op
+// stream is a function of its seed alone, so reissuing each thread's
+// recorded transactions under the unchanged min-clock scheduler
+// reconstructs exactly the run that scheme would have produced directly.
+// The golden grid and trace tests lock this bit for bit.
+
+// matrixColumn is one (workload, seed) capture shared by that workload's
+// replay cells. The capture stage fills it (or the cell cache restores
+// it); the replay stage only reads it, so no locking is needed even with
+// replay cells running on parallel workers.
+type matrixColumn struct {
+	workload string
+	threads  int
+	setupOps int
+	// hash is the sha256 of the trace wire bytes — the content half of
+	// the replay cache key.
+	hash string
+	// setup is the pre-window op stream, replayed in recorded global
+	// order; measured[t][i] is thread t's i-th measured-window transaction
+	// (including padding), fed through the scheme's own scheduling.
+	setup    []trace.Op
+	measured [][][]trace.Op
+	// cap holds the in-memory capture when this column executed in this
+	// run; tracePath points at the cached trace file when it did not.
+	cap       *workload.Captured
+	capKey    string
+	tracePath string
+}
+
+// finalizeFromCapture derives the replay inputs from a fresh capture.
+// When needWire is set (the cell cache is active) it also serializes the
+// wire bytes and hashes them for the replay cache key, returning the
+// bytes for storeCapture; cache-off runs skip that encoding pass. Either
+// way the Captured reference is dropped so only the op slices stay live.
+func (col *matrixColumn) finalizeFromCapture(needWire bool) ([]byte, error) {
+	cap := col.cap
+	col.threads = cap.Threads
+	col.setupOps = cap.SetupOps
+	col.setup = cap.Ops[:cap.SetupOps]
+	measured, err := trace.SplitTxs(cap.Ops[cap.SetupOps:], cap.Threads)
+	if err != nil {
+		return nil, fmt.Errorf("harness: splitting %s capture: %w", col.workload, err)
+	}
+	col.measured = measured
+	var wire []byte
+	if needWire {
+		wire, err = cap.WireBytes()
+		if err != nil {
+			return nil, err
+		}
+		sum := sha256.Sum256(wire)
+		col.hash = hex.EncodeToString(sum[:])
+	}
+	col.cap = nil
+	return wire, nil
+}
+
+// loadFromFile restores the replay inputs from a cached trace file,
+// verifying the content hash so a corrupt or swapped file cannot silently
+// feed wrong ops into a measurement.
+func (col *matrixColumn) loadFromFile() error {
+	raw, err := os.ReadFile(col.tracePath)
+	if err != nil {
+		return fmt.Errorf("harness: reading cached capture for %s: %w", col.workload, err)
+	}
+	if sum := sha256.Sum256(raw); hex.EncodeToString(sum[:]) != col.hash {
+		return fmt.Errorf("harness: cached capture %s fails its content hash; delete the cache dir and rerun", col.tracePath)
+	}
+	ops, err := trace.NewReader(bytes.NewReader(raw)).ReadAll()
+	if err != nil {
+		return fmt.Errorf("harness: decoding cached capture for %s: %w", col.workload, err)
+	}
+	if col.setupOps > len(ops) {
+		return fmt.Errorf("harness: cached capture for %s has %d ops but claims %d setup ops", col.workload, len(ops), col.setupOps)
+	}
+	col.setup = ops[:col.setupOps]
+	measured, err := trace.SplitTxs(ops[col.setupOps:], col.threads)
+	if err != nil {
+		return fmt.Errorf("harness: splitting cached %s capture: %w", col.workload, err)
+	}
+	col.measured = measured
+	return nil
+}
+
+// gatedSink forwards events only while open. The capture cell needs it
+// because telemetry subscriptions are forever: the cell's JSONL sink must
+// cover exactly the measurement window, but the capture keeps running
+// padding transactions after the window closes.
+type gatedSink struct {
+	inner telemetry.Sink
+	open  bool
+}
+
+func (g *gatedSink) Emit(e telemetry.Event) {
+	if g.open {
+		g.inner.Emit(e)
+	}
+}
+
+// captureCellRun executes one capture cell: a direct run of the cell's
+// scheme with a recorder subscribed from before setup, whose measurement
+// window doubles as the cell's own matrix result. Returns the system so
+// tests can compare durable images.
+func captureCellRun(c Cell) (Metrics, *workload.Captured, *engine.System, error) {
+	sys, err := buildSystem(c.Scheme, c.Mut)
+	if err != nil {
+		return Metrics{}, nil, nil, err
+	}
+	var met Metrics
+	var gate *gatedSink
+	sink := c.Sink
+	if sink != nil {
+		gate = &gatedSink{inner: sink}
+		sink = gate
+	}
+	cap, err := workload.Capture(sys, c.Workload, c.Seed, func(runners []engine.TxRunner) {
+		if gate != nil {
+			gate.open = true
+		}
+		met = measureWindow(sys, runners, c.Txs, sink, c.SinkMask)
+		if gate != nil {
+			gate.open = false
+		}
+	})
+	if err != nil {
+		return Metrics{}, nil, nil, err
+	}
+	return met, cap, sys, nil
+}
+
+// replayRunner feeds one thread's recorded transactions to the engine,
+// one segment per RunTx call, exactly as the direct runner would have
+// issued them.
+type replayRunner struct {
+	workload string
+	thread   int
+	txs      [][]trace.Op
+	next     int
+	buf      []byte
+}
+
+func (r *replayRunner) RunTx(env *engine.Env) {
+	if r.next >= len(r.txs) {
+		panic(fmt.Sprintf("harness: %s replay ran thread %d dry after %d recorded transactions (capture padding too small)",
+			r.workload, r.thread, r.next))
+	}
+	for _, op := range r.txs[r.next] {
+		var err error
+		r.buf, err = trace.ApplyOp(env, op, r.buf)
+		if err != nil {
+			panic(err)
+		}
+	}
+	r.next++
+}
+
+// replayCellRun executes one replay cell: the column's setup stream in
+// recorded order, then the standard measurement window driven by replay
+// runners. Returns the system so tests can compare durable images.
+func replayCellRun(c Cell, col *matrixColumn) (met Metrics, sys *engine.System, err error) {
+	sys, err = buildSystem(c.Scheme, c.Mut)
+	if err != nil {
+		return Metrics{}, nil, err
+	}
+	if got := sys.Config().Threads; got != col.threads {
+		return Metrics{}, nil, fmt.Errorf("harness: %s capture has %d threads but %s system has %d", col.workload, col.threads, c.Scheme, got)
+	}
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("harness: replaying %s on %s: %v", col.workload, c.Scheme, p)
+		}
+	}()
+	if _, err := trace.ReplayOps(sys, col.setup); err != nil {
+		return Metrics{}, nil, err
+	}
+	sys.SyncClocks()
+	runners := make([]engine.TxRunner, col.threads)
+	for t := range runners {
+		runners[t] = &replayRunner{workload: col.workload, thread: t, txs: col.measured[t]}
+	}
+	met = measureWindow(sys, runners, c.Txs, c.Sink, c.SinkMask)
+	return met, sys, nil
+}

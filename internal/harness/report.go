@@ -115,6 +115,10 @@ func RunSections(w io.Writer, opts Options, sections []string) (*Report, error) 
 			rep.Profile.LLCMissRatio*100, rep.Profile.EvictBufHitFrac*100)
 		fmt.Fprint(w, FormatPhaseBreakdown(m))
 		fmt.Fprintf(w, "Matrix pool: %s\n", m.Stats)
+		if opts.CacheDir != "" && !opts.DirectMatrix && opts.Trace == nil {
+			fmt.Fprintf(w, "Matrix cache: %d/%d cells cached (executed %d) in %s\n",
+				m.Stats.Cached, m.Stats.Cells, m.Stats.Cells-m.Stats.Cached, opts.CacheDir)
+		}
 		done()
 	}
 

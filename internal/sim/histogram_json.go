@@ -1,0 +1,47 @@
+package sim
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// histogramJSON is the wire form of Histogram. Buckets are run-length
+// compact only in the trivial sense that trailing zeros are dropped; all
+// fields are int64 nanosecond/count values, so the round trip is exact.
+type histogramJSON struct {
+	Buckets []int64  `json:"buckets,omitempty"`
+	Count   int64    `json:"count"`
+	Sum     Duration `json:"sum"`
+	Min     Duration `json:"min"`
+	Max     Duration `json:"max"`
+}
+
+// MarshalJSON serializes the histogram exactly; the harness cell cache
+// depends on Unmarshal(Marshal(h)) == h bit for bit.
+func (h Histogram) MarshalJSON() ([]byte, error) {
+	n := numBuckets
+	for n > 0 && h.buckets[n-1] == 0 {
+		n--
+	}
+	return json.Marshal(histogramJSON{
+		Buckets: h.buckets[:n],
+		Count:   h.count,
+		Sum:     h.sum,
+		Min:     h.min,
+		Max:     h.max,
+	})
+}
+
+// UnmarshalJSON restores a histogram serialized by MarshalJSON.
+func (h *Histogram) UnmarshalJSON(data []byte) error {
+	var v histogramJSON
+	if err := json.Unmarshal(data, &v); err != nil {
+		return err
+	}
+	if len(v.Buckets) > numBuckets {
+		return fmt.Errorf("sim: histogram JSON has %d buckets, max %d", len(v.Buckets), numBuckets)
+	}
+	*h = Histogram{count: v.Count, sum: v.Sum, min: v.Min, max: v.Max}
+	copy(h.buckets[:], v.Buckets)
+	return nil
+}

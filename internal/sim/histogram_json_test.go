@@ -1,0 +1,43 @@
+package sim
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestHistogramJSONRoundtrip(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 1000; i++ {
+		h.Observe(Duration(i*i) * Nanosecond)
+	}
+	data, err := json.Marshal(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Histogram
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got != h {
+		t.Fatalf("roundtrip mismatch:\n got %v\nwant %v", &got, &h)
+	}
+
+	var empty, gotEmpty Histogram
+	data, err = json.Marshal(empty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(data, &gotEmpty); err != nil {
+		t.Fatal(err)
+	}
+	if gotEmpty != empty {
+		t.Fatal("empty roundtrip mismatch")
+	}
+
+	if err := json.Unmarshal([]byte(`{"buckets":[1,2,3]}`), &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.buckets[0] != 1 || got.buckets[2] != 3 || got.buckets[3] != 0 {
+		t.Fatalf("short bucket decode wrong: %v", got.buckets[:4])
+	}
+}

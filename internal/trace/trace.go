@@ -5,6 +5,11 @@
 // against any persistence scheme, or (c) exported for analysis outside the
 // simulator. This mirrors how the paper's platform consumed Pin-captured
 // application traces.
+//
+// Format v2 adds transaction aborts (OpTxAbort) and widens the thread
+// field to uint16. The Reader still accepts v1 traces, except v1 traces
+// that claim to carry abort ops: v1 predates aborts, so an abort kind in a
+// v1 stream can only be corruption and is rejected.
 package trace
 
 import (
@@ -22,13 +27,14 @@ const (
 	OpTxEnd
 	OpLoad
 	OpStore
+	OpTxAbort // v2 only
 )
 
 // Op is one traced operation. Thread identifies the issuing workload
 // thread; Data is present only for stores.
 type Op struct {
 	Kind   byte
-	Thread uint8
+	Thread uint16
 	Addr   mem.PAddr
 	Size   uint32
 	Data   []byte
@@ -41,6 +47,8 @@ func (o Op) String() string {
 		return fmt.Sprintf("t%d TX_BEGIN", o.Thread)
 	case OpTxEnd:
 		return fmt.Sprintf("t%d TX_END", o.Thread)
+	case OpTxAbort:
+		return fmt.Sprintf("t%d TX_ABORT", o.Thread)
 	case OpLoad:
 		return fmt.Sprintf("t%d LOAD  %v +%d", o.Thread, o.Addr, o.Size)
 	case OpStore:
@@ -49,13 +57,21 @@ func (o Op) String() string {
 	return fmt.Sprintf("t%d ?%d", o.Thread, o.Kind)
 }
 
-// Magic and version of the binary format.
+// Magic and versions of the binary format. The file header is 8 bytes:
+// magic u32le, version u32le. Each op follows as a fixed header plus, for
+// stores, Size bytes of inline data. The v1 op header is 14 bytes (kind
+// u8, thread u8, addr u64le, size u32le); v2 is 15 bytes (kind u8, thread
+// u16le, addr u64le, size u32le).
 const (
-	magic   = 0x484F5452 // "HOTR"
-	version = 1
+	magic      = 0x484F5452 // "HOTR"
+	version1   = 1
+	version2   = 2
+	version    = version2
+	opHeaderV1 = 14
+	opHeaderV2 = 15
 )
 
-// Writer streams ops into an io.Writer.
+// Writer streams ops into an io.Writer, always in the current (v2) format.
 type Writer struct {
 	w       *bufio.Writer
 	started bool
@@ -83,11 +99,11 @@ func (t *Writer) Write(op Op) error {
 		}
 		t.started = true
 	}
-	var h [14]byte
+	var h [opHeaderV2]byte
 	h[0] = op.Kind
-	h[1] = op.Thread
-	binary.LittleEndian.PutUint64(h[2:], uint64(op.Addr))
-	binary.LittleEndian.PutUint32(h[10:], op.Size)
+	binary.LittleEndian.PutUint16(h[1:], op.Thread)
+	binary.LittleEndian.PutUint64(h[3:], uint64(op.Addr))
+	binary.LittleEndian.PutUint32(h[11:], op.Size)
 	if _, err := t.w.Write(h[:]); err != nil {
 		return err
 	}
@@ -107,6 +123,7 @@ func (t *Writer) Write(op Op) error {
 func (t *Writer) Count() int64 { return t.count }
 
 // Flush drains the buffer; call before closing the underlying writer.
+// Flushing mid-stream is fine: the Writer keeps appending afterwards.
 func (t *Writer) Flush() error {
 	if !t.started {
 		if err := t.header(); err != nil {
@@ -117,10 +134,11 @@ func (t *Writer) Flush() error {
 	return t.w.Flush()
 }
 
-// Reader streams ops from an io.Reader.
+// Reader streams ops from an io.Reader. It reads both v1 and v2 traces.
 type Reader struct {
 	r       *bufio.Reader
 	started bool
+	ver     uint32
 }
 
 // NewReader wraps r.
@@ -136,7 +154,10 @@ func (t *Reader) header() error {
 	if binary.LittleEndian.Uint32(h[0:]) != magic {
 		return fmt.Errorf("trace: bad magic")
 	}
-	if v := binary.LittleEndian.Uint32(h[4:]); v != version {
+	switch v := binary.LittleEndian.Uint32(h[4:]); v {
+	case version1, version2:
+		t.ver = v
+	default:
 		return fmt.Errorf("trace: unsupported version %d", v)
 	}
 	return nil
@@ -150,21 +171,39 @@ func (t *Reader) Read() (Op, error) {
 		}
 		t.started = true
 	}
-	var h [14]byte
-	if _, err := io.ReadFull(t.r, h[:]); err != nil {
+	var h [opHeaderV2]byte
+	n := opHeaderV2
+	if t.ver == version1 {
+		n = opHeaderV1
+	}
+	if _, err := io.ReadFull(t.r, h[:n]); err != nil {
 		if err == io.EOF {
 			return Op{}, io.EOF
 		}
 		return Op{}, fmt.Errorf("trace: reading op: %w", err)
 	}
-	op := Op{
-		Kind:   h[0],
-		Thread: h[1],
-		Addr:   mem.PAddr(binary.LittleEndian.Uint64(h[2:])),
-		Size:   binary.LittleEndian.Uint32(h[10:]),
+	var op Op
+	if t.ver == version1 {
+		op = Op{
+			Kind:   h[0],
+			Thread: uint16(h[1]),
+			Addr:   mem.PAddr(binary.LittleEndian.Uint64(h[2:])),
+			Size:   binary.LittleEndian.Uint32(h[10:]),
+		}
+	} else {
+		op = Op{
+			Kind:   h[0],
+			Thread: binary.LittleEndian.Uint16(h[1:]),
+			Addr:   mem.PAddr(binary.LittleEndian.Uint64(h[3:])),
+			Size:   binary.LittleEndian.Uint32(h[11:]),
+		}
 	}
 	switch op.Kind {
 	case OpTxBegin, OpTxEnd, OpLoad:
+	case OpTxAbort:
+		if t.ver == version1 {
+			return Op{}, fmt.Errorf("trace: v1 trace carries a tx-abort op; the v1 format predates aborts, so the trace is corrupt — re-record it with the current writer")
+		}
 	case OpStore:
 		if op.Size > 1<<20 {
 			return Op{}, fmt.Errorf("trace: unreasonable store size %d", op.Size)

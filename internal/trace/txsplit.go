@@ -1,0 +1,36 @@
+package trace
+
+import "fmt"
+
+// SplitTxs partitions a recorded op stream into per-thread transaction
+// segments: out[t][i] is thread t's i-th transaction, the ops from its
+// opening TxBegin (plus any preceding out-of-transaction ops, which attach
+// forward) through the TxEnd or TxAbort that closes it. Per-thread order
+// is preserved; the global interleaving is deliberately discarded — a
+// replayer reissues each thread's transactions under its own scheme's
+// timing, letting the engine's min-clock scheduler rebuild that scheme's
+// interleaving.
+func SplitTxs(ops []Op, threads int) ([][][]Op, error) {
+	perThread := make([][]Op, threads)
+	for _, op := range ops {
+		t := int(op.Thread)
+		if t >= threads {
+			return nil, fmt.Errorf("trace: op for thread %d but only %d threads expected", op.Thread, threads)
+		}
+		perThread[t] = append(perThread[t], op)
+	}
+	out := make([][][]Op, threads)
+	for t, stream := range perThread {
+		start := 0
+		for i, op := range stream {
+			if op.Kind == OpTxEnd || op.Kind == OpTxAbort {
+				out[t] = append(out[t], stream[start:i+1])
+				start = i + 1
+			}
+		}
+		if start != len(stream) {
+			return nil, fmt.Errorf("trace: thread %d has %d trailing ops after its last transaction close", t, len(stream)-start)
+		}
+	}
+	return out, nil
+}
