@@ -157,9 +157,6 @@ func BenchmarkFigure13(b *testing.B) {
 // Per-scheme transaction microbenchmarks: hashmap-64 transactions through
 // the full simulated machine. b.N counts committed transactions.
 func benchScheme(b *testing.B, scheme string) {
-	old := workload.Tuning
-	workload.Tuning.SynKeys = 2048
-	defer func() { workload.Tuning = old }()
 	cfg := engine.DefaultConfig(scheme)
 	cfg.Cores, cfg.Threads, cfg.Cache.Cores = 4, 4, 4
 	cfg.Ctrl.Agents = 6
@@ -170,7 +167,7 @@ func benchScheme(b *testing.B, scheme string) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	runners := workload.HashMapWL(64).Runners(sys, 1)
+	runners := workload.MustBuild("hashmap", workload.Options{ValBytes: 64, Keys: 2048}).Runners(sys, 1)
 	sys.ResetMemoryQueues()
 	b.ResetTimer()
 	sys.Run(runners, b.N)

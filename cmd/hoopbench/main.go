@@ -5,7 +5,9 @@
 // Usage:
 //
 //	hoopbench [-quick] [-seed N] [-workers N] [-trace out.jsonl]
-//	          [-sections tables,fig7-9,tableIV,fig10,fig11,fig12,fig13,contention,area]
+//	          [-workloads ycsb-a,ycsb-e] [-suite ycsb]
+//	          [-sections tables,fig7-9,tableIV,fig10,fig11,fig12,fig13,sweep-valsize,sweep-scan,contention,area]
+//	          [-cachedir dir] [-cachemax bytes]
 //	          [-cpuprofile out.pprof] [-memprofile out.pprof]
 package main
 
@@ -18,15 +20,18 @@ import (
 
 	"hoop/internal/clihelp"
 	"hoop/internal/harness"
+	"hoop/internal/workload"
 )
 
 func main() {
 	common := clihelp.Common{Seed: 1}
-	common.Register(flag.CommandLine, clihelp.FlagSeed, clihelp.FlagWorkers, clihelp.FlagTrace, clihelp.FlagProfile)
+	common.Register(flag.CommandLine, clihelp.FlagSeed, clihelp.FlagWorkers, clihelp.FlagTrace,
+		clihelp.FlagProfile, clihelp.FlagWorkloads)
 	quick := flag.Bool("quick", false, "run reduced-size experiments (seconds instead of minutes)")
 	charts := flag.Bool("charts", false, "also render each grid as ASCII bar charts")
 	artifacts := flag.String("artifacts", "", "directory to write per-figure JSON artifacts into")
 	cachedir := flag.String("cachedir", "", "directory memoizing matrix cells across runs (created if missing; reruns only execute cells whose inputs changed)")
+	cachemax := flag.Int64("cachemax", 0, "cap -cachedir at this many bytes, evicting least-recently-used cells (0 = unlimited)")
 	direct := flag.Bool("directmatrix", false, "run every matrix cell by direct workload execution instead of record-once/replay-many")
 	sections := flag.String("sections", strings.Join(harness.AllSections, ","),
 		"comma-separated experiment sections to run (extras: "+strings.Join(harness.ExtraSections, ", ")+")")
@@ -38,8 +43,14 @@ func main() {
 	}
 	defer stopProfiles()
 
+	suite, err := common.ResolveSuite(workload.Options{})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hoopbench: %v\n", err)
+		os.Exit(2)
+	}
 	opts := harness.Options{Quick: *quick, Seed: common.Seed, Charts: *charts, ArtifactDir: *artifacts,
-		Workers: common.Workers, CacheDir: *cachedir, DirectMatrix: *direct}
+		Workers: common.Workers, CacheDir: *cachedir, CacheMax: *cachemax, DirectMatrix: *direct,
+		Suite: suite}
 	if common.Trace != "" {
 		opts.Trace = &harness.TraceCollector{}
 	}

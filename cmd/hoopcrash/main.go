@@ -8,10 +8,16 @@
 // exits non-zero, so a red CI run reproduces locally with the printed
 // flags.
 //
+// With -workloads or -suite it instead runs the workload-level smoke: each
+// selected registry workload (YCSB's scans, read-modify-write aborts, bulk
+// inserts included) runs on the full simulated machine, is crashed
+// mid-stream, recovered, and verified against the committed-write oracle.
+//
 // Usage:
 //
 //	hoopcrash [-scheme all] [-mode exhaustive|random] [-seed 1] [-seeds 200]
 //	          [-txs 8] [-words 4] [-pool 96] [-cores 2] [-abortevery 0]
+//	          [-workloads ycsb-e,ycsb-f | -suite ycsb] [-smoketxs 400]
 package main
 
 import (
@@ -22,6 +28,8 @@ import (
 
 	"hoop/internal/clihelp"
 	"hoop/internal/crashtest"
+	"hoop/internal/engine"
+	"hoop/internal/workload"
 )
 
 func main() {
@@ -34,8 +42,9 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("hoopcrash", flag.ContinueOnError)
 	common := clihelp.Common{Seed: 1}
-	common.Register(fs, clihelp.FlagSeed)
+	common.Register(fs, clihelp.FlagSeed, clihelp.FlagWorkloads)
 	scheme := fs.String("scheme", "all", "scheme name, or \"all\"")
+	smokeTxs := fs.Int("smoketxs", 400, "transactions per workload-smoke run (with -workloads/-suite)")
 	mode := fs.String("mode", "exhaustive", "\"exhaustive\" (every crash point of one workload) or \"random\" (one crash point per seed)")
 	seeds := fs.Int("seeds", 200, "number of seeds to try in random mode")
 	txs := fs.Int("txs", 8, "transactions per workload")
@@ -59,6 +68,14 @@ func run(args []string, out io.Writer) error {
 			return fmt.Errorf("unknown scheme %q (known: %v)", *scheme, schemes)
 		}
 		schemes = []string{*scheme}
+	}
+
+	suite, err := common.ResolveSuite(workload.Options{})
+	if err != nil {
+		return err
+	}
+	if len(suite) > 0 {
+		return runSmoke(out, schemes, suite, common.Seed, *smokeTxs)
 	}
 
 	w := crashtest.DefaultWorkload(common.Seed)
@@ -92,6 +109,31 @@ func run(args []string, out io.Writer) error {
 			}
 		default:
 			return fmt.Errorf("unknown mode %q (want exhaustive or random)", *mode)
+		}
+	}
+	if failed {
+		return fmt.Errorf("crash-consistency violations found")
+	}
+	return nil
+}
+
+// runSmoke crashes and recovers every (scheme, workload) pair on the full
+// engine. The Ideal scheme is skipped: it has no persistence guarantee.
+func runSmoke(out io.Writer, schemes []string, suite []workload.Workload, seed uint64, txs int) error {
+	failed := false
+	for _, s := range schemes {
+		if s == engine.SchemeNative {
+			fmt.Fprintf(out, "%-16s skip  no persistence guarantee to verify\n", s)
+			continue
+		}
+		for _, wl := range suite {
+			if err := crashtest.Smoke(s, wl, seed, txs); err != nil {
+				failed = true
+				fmt.Fprintf(out, "%-16s %-12s FAIL  %v\n", s, wl.Name, err)
+			} else {
+				fmt.Fprintf(out, "%-16s %-12s ok    crash+recover consistent (%d txs, seed %d)\n",
+					s, wl.Name, txs, seed)
+			}
 		}
 	}
 	if failed {

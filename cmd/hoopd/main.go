@@ -36,6 +36,7 @@ import (
 	"hoop/internal/loadgen"
 	"hoop/internal/service"
 	"hoop/internal/sim"
+	"hoop/internal/workload"
 )
 
 func main() {
@@ -69,7 +70,8 @@ type soakConfig struct {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("hoopd", flag.ContinueOnError)
 	common := clihelp.Common{Scheme: engine.SchemeHOOP, Seed: 1}
-	common.Register(fs, clihelp.FlagScheme, clihelp.FlagSeed, clihelp.FlagTrace, clihelp.FlagProfile)
+	common.Register(fs, clihelp.FlagScheme, clihelp.FlagSeed, clihelp.FlagTrace, clihelp.FlagProfile,
+		clihelp.FlagWorkloads)
 	shards := fs.Int("shards", 4, "engine shards (one goroutine + engine + scheme instance each)")
 	rate := fs.Float64("rate", 250000, "offered arrival rate per shard (requests/second)")
 	duration := fs.String("duration", "20ms", "simulated soak length (Go duration, e.g. 50ms)")
@@ -141,6 +143,30 @@ func run(args []string, out io.Writer) error {
 	if !ok {
 		return fmt.Errorf("-mix: unknown mix %q (known: %s)", *mix, loadgen.MixNames())
 	}
+	// -workloads/-suite override -mix: each selected registry workload
+	// becomes one equally weighted tenant with its own op mix and skew.
+	if wls, err := common.ResolveSuite(workload.Options{}); err != nil {
+		return err
+	} else if len(wls) > 0 {
+		tenants = tenants[:0:0]
+		for _, w := range wls {
+			tenants = append(tenants, tenantFromWorkload(w))
+		}
+		if common.Workloads != "" {
+			cfg.mixName = "workloads:" + common.Workloads
+		} else {
+			cfg.mixName = "suite:" + common.Suite
+		}
+		valSet := false
+		fs.Visit(func(f *flag.Flag) {
+			if f.Name == "val" {
+				valSet = true
+			}
+		})
+		if !valSet {
+			cfg.val = wls[0].Opts.ValBytes
+		}
+	}
 	cfg.mix = applyTheta(tenants, *theta)
 	if cfg.shards < 1 {
 		return fmt.Errorf("-shards must be at least 1")
@@ -176,6 +202,27 @@ func applyTheta(tenants []loadgen.Tenant, override float64) []loadgen.Tenant {
 		}
 	}
 	return out
+}
+
+// tenantFromWorkload maps a registry workload's resolved op mix onto the
+// service tier's vocabulary: reads and scans become gets, updates and
+// read-modify-writes become single-word updates, inserts become puts. The
+// workload's key skew carries over (uniform mixes get theta 0).
+func tenantFromWorkload(w workload.Workload) loadgen.Tenant {
+	o := w.Opts
+	theta := 0.0
+	if o.Dist != "uniform" {
+		theta = o.Theta
+	}
+	m := loadgen.OpMix{
+		Get:    o.Mix.Read + o.Mix.Scan,
+		Update: o.Mix.Update + o.Mix.RMW,
+		Put:    o.Mix.Insert,
+	}
+	if m.Get+m.Put+m.Update == 0 {
+		m.Update = 1 // synthetic structures mutate on every op
+	}
+	return loadgen.Tenant{Name: w.Name, Weight: 1, Mix: m, Theta: theta}
 }
 
 // parseSimDuration reads a Go duration string as simulated time.

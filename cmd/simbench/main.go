@@ -35,7 +35,9 @@ import (
 	"hoop/internal/engine"
 	"hoop/internal/harness"
 	"hoop/internal/mem"
+	"hoop/internal/nstore"
 	"hoop/internal/persist"
+	"hoop/internal/pmem"
 	"hoop/internal/sim"
 	"hoop/internal/trace"
 	"hoop/internal/workload"
@@ -216,6 +218,31 @@ func benchmarks() map[string]func(b *testing.B) {
 				}
 				env.TxEnd()
 				q.Quiesce(env.Now())
+			}
+		},
+		// One 8-item range scan through the ordered N-store's B+-tree
+		// leaves — the per-op cost of the YCSB-E scan path (leaf walk plus
+		// the NoteScan telemetry/statistics accounting). The scan reuses
+		// the caller's record buffer, so steady state allocates nothing.
+		"scan_line8": func(b *testing.B) {
+			sys := engineForBench(b)
+			env := sys.NewEnv(0)
+			region := pmem.Partition(sys.Layout().Home, 1)[0]
+			env.TxBegin()
+			table := nstore.Open(env, region).CreateOrderedTable(64)
+			env.TxEnd()
+			buf := make([]byte, 64)
+			const keys = 1024
+			for k := 0; k < keys; k++ {
+				env.TxBegin()
+				table.Insert(uint64(k), buf)
+				env.TxEnd()
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				env.TxBegin()
+				table.Scan(uint64(i%(keys-8)), 8, buf)
+				env.TxEnd()
 			}
 		},
 		// One recorded 4-word transaction reissued through trace.ApplyOp —

@@ -20,11 +20,12 @@ import (
 
 // Flag-block names accepted by Register.
 const (
-	FlagScheme  = "scheme"
-	FlagSeed    = "seed"
-	FlagWorkers = "workers"
-	FlagTrace   = "trace"
-	FlagProfile = "profile" // registers -cpuprofile and -memprofile
+	FlagScheme    = "scheme"
+	FlagSeed      = "seed"
+	FlagWorkers   = "workers"
+	FlagTrace     = "trace"
+	FlagProfile   = "profile"   // registers -cpuprofile and -memprofile
+	FlagWorkloads = "workloads" // registers -workloads and -suite
 )
 
 // Common holds the shared flag values. Set a field before Register to
@@ -36,6 +37,11 @@ type Common struct {
 	Trace      string
 	CPUProfile string
 	MemProfile string
+	// Workloads is a comma-separated list of registry workload names;
+	// Suite names a predefined suite. ResolveSuite builds either into
+	// workloads.
+	Workloads string
+	Suite     string
 }
 
 // Register adds the requested flag blocks to fs.
@@ -56,6 +62,11 @@ func (c *Common) Register(fs *flag.FlagSet, blocks ...string) {
 		case FlagProfile:
 			fs.StringVar(&c.CPUProfile, "cpuprofile", c.CPUProfile, "write a CPU profile of the run to this file")
 			fs.StringVar(&c.MemProfile, "memprofile", c.MemProfile, "write a heap profile taken at exit to this file")
+		case FlagWorkloads:
+			fs.StringVar(&c.Workloads, FlagWorkloads, c.Workloads,
+				"comma-separated workload names ("+strings.Join(workload.Registered(), ", ")+")")
+			fs.StringVar(&c.Suite, "suite", c.Suite,
+				"workload suite ("+strings.Join(workload.SuiteNames(), ", ")+")")
 		default:
 			panic("clihelp: unknown flag block " + b)
 		}
@@ -145,22 +156,78 @@ func (t *TraceFile) Close() error {
 	return t.f.Close()
 }
 
-// FindWorkload resolves a workload name across the paper and large-item
-// suites.
+// ResolveSuite builds the workloads selected by -workloads/-suite, each
+// with base overlaid on its defaults. (nil, nil) when neither flag was
+// given, so the caller keeps its default suite; an explicit -workloads
+// list wins over -suite.
+func (c *Common) ResolveSuite(base workload.Options) ([]workload.Workload, error) {
+	if c.Workloads != "" {
+		var wls []workload.Workload
+		for _, name := range strings.Split(c.Workloads, ",") {
+			name = strings.TrimSpace(name)
+			if name == "" {
+				continue
+			}
+			w, err := workload.Build(name, base)
+			if err != nil {
+				return nil, fmt.Errorf("-workloads: %w", err)
+			}
+			wls = append(wls, w)
+		}
+		if len(wls) == 0 {
+			return nil, fmt.Errorf("-workloads: no workload names given")
+		}
+		return wls, nil
+	}
+	if c.Suite != "" {
+		wls, err := workload.Suite(c.Suite, base)
+		if err != nil {
+			return nil, fmt.Errorf("-suite: %w", err)
+		}
+		return wls, nil
+	}
+	return nil, nil
+}
+
+// suiteWorkloads is the display set FindWorkload searches first: the
+// paper matrix plus the 1 KB-item variants, under default options.
+func suiteWorkloads() []workload.Workload {
+	return append(workload.PaperSuite(workload.Options{}), workload.LargeItemSuite(workload.Options{})...)
+}
+
+// FindWorkload resolves a workload name: first the size-tagged display
+// names of the paper and 1 KB suites ("hashmap-1k"), then any registered
+// factory name ("ycsb-e"), built with its default options.
 func FindWorkload(name string) (workload.Workload, bool) {
-	for _, w := range append(workload.PaperSuite(), workload.LargeItemSuite()...) {
+	for _, w := range suiteWorkloads() {
 		if w.Name == name {
 			return w, true
+		}
+	}
+	for _, reg := range workload.Registered() {
+		if reg == name {
+			return workload.MustBuild(reg, workload.Options{}), true
 		}
 	}
 	return workload.Workload{}, false
 }
 
-// WorkloadNames lists every available workload name, for error messages.
+// WorkloadNames lists every resolvable workload name, for error messages:
+// suite display names first, then the registered factory names.
 func WorkloadNames() []string {
+	seen := map[string]bool{}
 	var names []string
-	for _, w := range append(workload.PaperSuite(), workload.LargeItemSuite()...) {
-		names = append(names, w.Name)
+	add := func(n string) {
+		if !seen[n] {
+			seen[n] = true
+			names = append(names, n)
+		}
+	}
+	for _, w := range suiteWorkloads() {
+		add(w.Name)
+	}
+	for _, n := range workload.Registered() {
+		add(n)
 	}
 	return names
 }

@@ -1,0 +1,45 @@
+package crashtest
+
+import (
+	"fmt"
+
+	"hoop/internal/engine"
+	"hoop/internal/workload"
+)
+
+// Smoke runs a registry workload on the full simulated machine under one
+// scheme, crashes it mid-stream, recovers, and checks the durable home
+// region against the committed-write oracle. It complements the
+// journal-level drivers in this package: Enumerate/RandomSchedules cover
+// every torn-write window of a tiny synthetic word workload, while Smoke
+// pushes real op streams — range scans, read-modify-write aborts, bulk
+// inserts — through the same crash/recover/verify cycle.
+func Smoke(scheme string, wl workload.Workload, seed uint64, txs int) error {
+	if scheme == engine.SchemeNative {
+		return fmt.Errorf("scheme %s has no persistence guarantee to verify", scheme)
+	}
+	cfg := engine.DefaultConfig(scheme)
+	cfg.Cores, cfg.Threads, cfg.Cache.Cores = 2, 2, 2
+	cfg.Ctrl.Agents = 4
+	cfg.NVM.Capacity = 1 << 30
+	cfg.OOPBytes = 64 << 20
+	cfg.Hoop.CommitLogBytes = 1 << 20
+	cfg.TrackOracle = true
+	if wl.NeedsAbort {
+		cfg.Abortable = true
+	}
+	sys, err := engine.New(cfg)
+	if err != nil {
+		return fmt.Errorf("%s/%s: %w", scheme, wl.Name, err)
+	}
+	runners := wl.Runners(sys, seed)
+	sys.Run(runners, txs)
+	sys.Crash()
+	if _, err := sys.Recover(2); err != nil {
+		return fmt.Errorf("%s/%s: recovery failed: %w", scheme, wl.Name, err)
+	}
+	if mm := sys.VerifyRecovered(4); len(mm) != 0 {
+		return fmt.Errorf("%s/%s: recovered state diverges from committed oracle: %+v", scheme, wl.Name, mm)
+	}
+	return nil
+}

@@ -176,8 +176,10 @@ type System struct {
 
 	// Interned counter handles for the per-operation stats (one fires per
 	// load/store issued by workload code).
-	statTxLoads  *sim.Counter
-	statTxStores *sim.Counter
+	statTxLoads   *sim.Counter
+	statTxStores  *sim.Counter
+	statScanOps   *sim.Counter
+	statScanItems *sim.Counter
 
 	txLatSum  sim.Duration
 	txLatHist sim.Histogram
@@ -246,8 +248,10 @@ func New(cfg Config) (*System, error) {
 		txBegan:  make([]sim.Time, cfg.Threads),
 		txWrites: make([][]writeRec, cfg.Threads),
 
-		statTxLoads:  stats.Counter(sim.StatTxLoads),
-		statTxStores: stats.Counter(sim.StatTxStores),
+		statTxLoads:   stats.Counter(sim.StatTxLoads),
+		statTxStores:  stats.Counter(sim.StatTxStores),
+		statScanOps:   stats.Counter(sim.StatScanOps),
+		statScanItems: stats.Counter(sim.StatScanItems),
 	}
 	if cfg.TrackOracle {
 		s.oracle = mem.NewStore()

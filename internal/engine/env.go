@@ -242,6 +242,27 @@ func (e *Env) WriteWord(addr mem.PAddr, v uint64) {
 	e.Write(addr, e.wbuf[:])
 }
 
+// NoteScan accounts one structure-level range scan that read items values
+// totalling bytes. The data and node accesses were already simulated (and
+// charged) through Read; NoteScan only records the op-level fact — scan
+// counters and one KindScan event — so reports can attribute traffic to
+// scans without per-item event volume. It advances no clock.
+func (e *Env) NoteScan(items, bytes int) {
+	s := e.sys
+	s.statScanOps.Inc()
+	s.statScanItems.Add(int64(items))
+	if s.tel.Enabled(telemetry.KindScan) {
+		s.tel.Emit(telemetry.Event{
+			Kind:  telemetry.KindScan,
+			Time:  s.clocks[e.thread].Now(),
+			Core:  int16(e.thread),
+			Tx:    uint64(s.txID[e.thread]),
+			Bytes: int64(bytes),
+			Aux:   int64(items),
+		})
+	}
+}
+
 // access simulates the cache behaviour of touching [addr, addr+size).
 func (e *Env) access(addr mem.PAddr, size int, write bool) {
 	s := e.sys

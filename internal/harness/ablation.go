@@ -25,7 +25,9 @@ func Ablation(opts Options) (*Grid, error) {
 		{"condensed table", func(c *engine.Config) { c.Hoop.CondenseMapping = true }},
 	}
 	workloads := []workload.Workload{
-		workload.HashMapWL(64), workload.BTreeWL(64), workload.TPCC(),
+		workload.MustBuild("hashmap", opts.WL),
+		workload.MustBuild("btree", opts.WL),
+		workload.MustBuild("tpcc", opts.WL),
 	}
 	txs := opts.txPerCell() / 2
 

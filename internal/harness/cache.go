@@ -7,28 +7,37 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
+	"strings"
+	"time"
 
 	"hoop/internal/engine"
-	"hoop/internal/workload"
 )
 
 // cacheSchema versions the on-disk cell cache. Bump it whenever the
 // simulator's measured semantics change in a way the config string cannot
 // express (engine scheduling, scheme internals, metric definitions): the
 // version participates in every key, so a bump invalidates everything.
-const cacheSchema = "hoop-cellcache/v1"
+// v2: workload identity moved from the global Tuning to per-workload
+// Options, and per-thread runner seeds changed to engine.ShardSeed.
+const cacheSchema = "hoop-cellcache/v2"
 
 // cellCache memoizes matrix cells on disk. A capture cell is keyed by
-// everything that determines its op stream and metrics (workload, seed,
-// txs, workload tuning, full engine config); a replay cell is keyed by the
-// capture's content hash plus its own config. Cached metrics round-trip
-// through JSON exactly (sim.Histogram included), so a warm rerun renders
-// byte-identical grids. All cache I/O happens on the orchestrator
-// goroutine between cell batches — workers never touch it.
+// everything that determines its op stream and metrics (workload name and
+// resolved options, seed, txs, full engine config); a replay cell is keyed
+// by the capture's content hash plus its own config. Cached metrics
+// round-trip through JSON exactly (sim.Histogram included), so a warm
+// rerun renders byte-identical grids. All cache I/O happens on the
+// orchestrator goroutine between cell batches — workers never touch it.
 type cellCache struct {
 	dir    string
+	max    int64 // byte cap; <= 0 means unlimited
 	hits   int
 	misses int
+	// used marks keys loaded or stored during this run: eviction skips
+	// them, so a tiny cap can never delete a trace a later replay batch
+	// of the same run still needs.
+	used map[string]bool
 }
 
 // openCellCache returns nil when caching is off. Tracing disables the
@@ -40,7 +49,7 @@ func openCellCache(opts Options) (*cellCache, error) {
 	if err := os.MkdirAll(opts.CacheDir, 0o755); err != nil {
 		return nil, fmt.Errorf("harness: -cachedir: %w", err)
 	}
-	return &cellCache{dir: opts.CacheDir}, nil
+	return &cellCache{dir: opts.CacheDir, max: opts.CacheMax, used: map[string]bool{}}, nil
 }
 
 // configCacheKey canonicalizes the post-Mut engine config. Config is all
@@ -61,13 +70,13 @@ func (cc *cellCache) captureKey(c Cell) (string, bool) {
 	if c.Sink != nil {
 		return "", false
 	}
-	cfg, ok := configCacheKey(c.Scheme, c.Mut)
+	cfg, ok := configCacheKey(c.Scheme, c.mut())
 	if !ok {
 		return "", false
 	}
 	h := sha256.New()
-	fmt.Fprintf(h, "%s\ncapture\nworkload=%s\nseed=%d\ntxs=%d\ntuning=%+v\nconfig=%s\n",
-		cacheSchema, c.Workload.Name, c.Seed, c.Txs, workload.Tuning, cfg)
+	fmt.Fprintf(h, "%s\ncapture\nworkload=%s\nseed=%d\ntxs=%d\nopts=%+v\nconfig=%s\n",
+		cacheSchema, c.Workload.Name, c.Seed, c.Txs, c.Workload.Opts, cfg)
 	return hex.EncodeToString(h.Sum(nil)), true
 }
 
@@ -75,7 +84,7 @@ func (cc *cellCache) replayKey(c Cell, col *matrixColumn) (string, bool) {
 	if c.Sink != nil || col.hash == "" {
 		return "", false
 	}
-	cfg, ok := configCacheKey(c.Scheme, c.Mut)
+	cfg, ok := configCacheKey(c.Scheme, c.mut())
 	if !ok {
 		return "", false
 	}
@@ -126,6 +135,7 @@ func (cc *cellCache) loadCapture(key, workloadName string) (*captureEntry, bool)
 		return nil, false
 	}
 	cc.hits++
+	cc.markUsed(key)
 	return &e, true
 }
 
@@ -145,7 +155,11 @@ func (cc *cellCache) storeCapture(key string, col *matrixColumn, wire []byte, me
 	if err := cc.writeFile(key+".trc", wire); err != nil {
 		return err
 	}
-	return cc.writeFile(key+".json", data)
+	if err := cc.writeFile(key+".json", data); err != nil {
+		return err
+	}
+	cc.markUsed(key)
+	return cc.enforceMax()
 }
 
 func (cc *cellCache) loadReplay(key string) (Metrics, bool) {
@@ -160,6 +174,7 @@ func (cc *cellCache) loadReplay(key string) (Metrics, bool) {
 		return Metrics{}, false
 	}
 	cc.hits++
+	cc.markUsed(key)
 	return e.Metrics, true
 }
 
@@ -168,7 +183,98 @@ func (cc *cellCache) storeReplay(key, scheme string, met Metrics) error {
 	if err != nil {
 		return fmt.Errorf("harness: cache: %w", err)
 	}
-	return cc.writeFile(key+".json", data)
+	if err := cc.writeFile(key+".json", data); err != nil {
+		return err
+	}
+	cc.markUsed(key)
+	return cc.enforceMax()
+}
+
+// markUsed records that this run touched key — it is pinned against
+// eviction for the rest of the run — and refreshes the entry's file
+// timestamps, which are the cache's LRU clock.
+func (cc *cellCache) markUsed(key string) {
+	cc.used[key] = true
+	now := time.Now()
+	for _, name := range []string{key + ".json", key + ".trc"} {
+		path := filepath.Join(cc.dir, name)
+		if _, err := os.Stat(path); err == nil {
+			os.Chtimes(path, now, now)
+		}
+	}
+}
+
+// enforceMax evicts least-recently-used entries until the cache fits the
+// byte cap. Entries are whole key groups — a capture's <key>.json and
+// <key>.trc leave together — ordered by newest file modification time
+// (loads refresh it via markUsed), with the key as a deterministic
+// tiebreak. Keys used during this run are pinned. Eviction failures
+// degrade to a larger cache, never to an error: the cache is an
+// optimization, and a stale entry is re-keyed or re-validated on load.
+func (cc *cellCache) enforceMax() error {
+	if cc.max <= 0 {
+		return nil
+	}
+	ents, err := os.ReadDir(cc.dir)
+	if err != nil {
+		return nil
+	}
+	type group struct {
+		key   string
+		size  int64
+		mtime time.Time
+		files []string
+	}
+	groups := map[string]*group{}
+	var total int64
+	for _, ent := range ents {
+		name := ent.Name()
+		ext := filepath.Ext(name)
+		if ent.IsDir() || (ext != ".json" && ext != ".trc") {
+			continue
+		}
+		info, err := ent.Info()
+		if err != nil {
+			continue
+		}
+		key := strings.TrimSuffix(name, ext)
+		g := groups[key]
+		if g == nil {
+			g = &group{key: key}
+			groups[key] = g
+		}
+		g.size += info.Size()
+		g.files = append(g.files, name)
+		if mt := info.ModTime(); mt.After(g.mtime) {
+			g.mtime = mt
+		}
+		total += info.Size()
+	}
+	if total <= cc.max {
+		return nil
+	}
+	order := make([]*group, 0, len(groups))
+	for _, g := range groups {
+		if !cc.used[g.key] {
+			order = append(order, g)
+		}
+	}
+	sort.Slice(order, func(i, j int) bool {
+		if !order[i].mtime.Equal(order[j].mtime) {
+			return order[i].mtime.Before(order[j].mtime)
+		}
+		return order[i].key < order[j].key
+	})
+	for _, g := range order {
+		if total <= cc.max {
+			break
+		}
+		for _, f := range g.files {
+			os.Remove(filepath.Join(cc.dir, f))
+		}
+		total -= g.size
+	}
+	return nil
 }
 
 // writeFile writes via a temp file + rename so an interrupted run never

@@ -15,10 +15,9 @@ import (
 // executes zero cells, and the warm metrics are bit-identical — the
 // property the CI cache-correctness job holds hoopbench to.
 func TestCellCacheWarmRerun(t *testing.T) {
-	defer QuickTuning()()
 	dir := t.TempDir()
 	opts := Options{Quick: true, Seed: 3, Workers: 2, CacheDir: dir}
-	wls := []workload.Workload{workload.QueueWL(64), workload.HashMapWL(64)}
+	wls := []workload.Workload{quickWL("queue"), quickWL("hashmap")}
 	schemes := []string{engine.SchemeRedo, engine.SchemeHOOP, engine.SchemeNative}
 
 	cold, err := RunMatrixOn(opts, wls, schemes)
@@ -58,10 +57,9 @@ func TestCellCacheWarmRerun(t *testing.T) {
 // instead of feeding wrong numbers, and a corrupt trace file fails loudly
 // rather than replaying garbage.
 func TestCellCacheCorruptionDegradesToMiss(t *testing.T) {
-	defer QuickTuning()()
 	dir := t.TempDir()
 	opts := Options{Quick: true, Seed: 3, Workers: 1, CacheDir: dir}
-	wls := []workload.Workload{workload.QueueWL(64)}
+	wls := []workload.Workload{quickWL("queue")}
 	schemes := []string{engine.SchemeRedo, engine.SchemeHOOP}
 
 	cold, err := RunMatrixOn(opts, wls, schemes)
@@ -110,4 +108,75 @@ func TestCellCacheCorruptionDegradesToMiss(t *testing.T) {
 	if _, err := RunMatrixOn(opts, wls, schemes); err == nil || !strings.Contains(err.Error(), "content hash") {
 		t.Fatalf("corrupt cached trace must fail its hash check, got %v", err)
 	}
+}
+
+// TestCellCacheLRUEviction: with a byte cap (-cachemax), the least
+// recently used entries are evicted whole — an evicted column re-executes
+// with bit-identical numbers, while entries touched by the capped run
+// survive and keep hitting.
+func TestCellCacheLRUEviction(t *testing.T) {
+	dir := t.TempDir()
+	schemes := []string{engine.SchemeRedo, engine.SchemeHOOP}
+	wlA := []workload.Workload{quickWL("queue")}
+	wlB := []workload.Workload{quickWL("hashmap")}
+	base := Options{Quick: true, Seed: 3, Workers: 1, CacheDir: dir}
+
+	coldA, err := RunMatrixOn(base, wlA, schemes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sizeA := cacheDirSize(t, dir)
+	if sizeA <= 0 {
+		t.Fatal("cold run left an empty cache")
+	}
+
+	// Run column B under a cap that cannot hold both columns: A's entries
+	// (older, untouched by this run) are evicted; B's, pinned as used,
+	// survive.
+	capped := base
+	capped.CacheMax = sizeA
+	if _, err := RunMatrixOn(capped, wlB, schemes); err != nil {
+		t.Fatal(err)
+	}
+	// Only B's two entries (capture + replay) remain on disk.
+	if entries, err := filepath.Glob(filepath.Join(dir, "*.json")); err != nil || len(entries) != 2 {
+		t.Fatalf("expected A's entries evicted leaving 2, got %v (%v)", entries, err)
+	}
+
+	warmB, err := RunMatrixOn(capped, wlB, schemes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warmB.Stats.Cached != warmB.Stats.Cells {
+		t.Fatalf("surviving column cached %d/%d cells, want all", warmB.Stats.Cached, warmB.Stats.Cells)
+	}
+
+	rerunA, err := RunMatrixOn(base, wlA, schemes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rerunA.Stats.Cached != 0 {
+		t.Fatalf("evicted column still hit the cache (%d cells)", rerunA.Stats.Cached)
+	}
+	if !reflect.DeepEqual(coldA.Cells, rerunA.Cells) {
+		t.Fatal("re-executed metrics diverge from the pre-eviction run")
+	}
+}
+
+// cacheDirSize sums the cache entries' bytes.
+func cacheDirSize(t *testing.T, dir string) int64 {
+	t.Helper()
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total int64
+	for _, e := range ents {
+		info, err := e.Info()
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += info.Size()
+	}
+	return total
 }

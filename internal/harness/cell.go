@@ -38,6 +38,22 @@ type Cell struct {
 	Exec func(Cell) (Metrics, error)
 }
 
+// mut returns the cell's effective config mutator: the caller's Mut, plus
+// Config.Abortable forced on for workloads that inject aborts (YCSB-F's
+// read-modify-write mix). Cache keys hash this effective config, so an
+// abort-injecting workload can never alias a non-abortable cell.
+func (c Cell) mut() func(*engine.Config) {
+	if !c.Workload.NeedsAbort {
+		return c.Mut
+	}
+	return func(cfg *engine.Config) {
+		if c.Mut != nil {
+			c.Mut(cfg)
+		}
+		cfg.Abortable = true
+	}
+}
+
 // CellStats summarizes one worker-pool run over a batch of cells.
 type CellStats struct {
 	Cells   int
@@ -165,7 +181,7 @@ var phaseMask = telemetry.MaskPhases | telemetry.MaskOf(telemetry.KindTxCommit)
 // runCell executes the cell's transactions on a fresh system and returns
 // the measurement window.
 func runCell(c Cell) (Metrics, error) {
-	sys, err := buildSystem(c.Scheme, c.Mut)
+	sys, err := buildSystem(c.Scheme, c.mut())
 	if err != nil {
 		return Metrics{}, err
 	}

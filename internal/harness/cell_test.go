@@ -9,13 +9,19 @@ import (
 	"hoop/internal/workload"
 )
 
+// quickWL builds a 64-byte workload on the shrunken working set the
+// harness tests run (the sizing the deleted QuickTuning global used to
+// install).
+func quickWL(name string) workload.Workload {
+	return workload.MustBuild(name, workload.Options{ValBytes: 64, Keys: 4096})
+}
+
 // TestRunCellsMatchesSerial checks the pool's core guarantee: the measured
 // numbers are bit-identical whether cells run on one worker or many.
 func TestRunCellsMatchesSerial(t *testing.T) {
-	defer QuickTuning()()
 	var cells []Cell
 	for _, s := range []string{engine.SchemeHOOP, engine.SchemeRedo, engine.SchemeNative} {
-		for _, wl := range []workload.Workload{workload.HashMapWL(64), workload.QueueWL(64)} {
+		for _, wl := range []workload.Workload{quickWL("hashmap"), quickWL("queue")} {
 			cells = append(cells, Cell{Scheme: s, Workload: wl, Txs: 200, Seed: 7})
 		}
 	}
@@ -45,8 +51,7 @@ func TestRunCellsMatchesSerial(t *testing.T) {
 // the measured transactions (setup txs excluded) and its percentiles are
 // ordered — the distribution harness consumers merge across cells.
 func TestCellLatencyHistogram(t *testing.T) {
-	defer QuickTuning()()
-	cells := []Cell{{Scheme: engine.SchemeHOOP, Workload: workload.HashMapWL(64), Txs: 300, Seed: 3}}
+	cells := []Cell{{Scheme: engine.SchemeHOOP, Workload: quickWL("hashmap"), Txs: 300, Seed: 3}}
 	metrics, _, err := RunCells(cells, 1)
 	if err != nil {
 		t.Fatal(err)
@@ -86,8 +91,7 @@ func TestParallelMatrixDeterminism(t *testing.T) {
 	if testing.Short() {
 		t.Skip("matrix run is seconds-long")
 	}
-	defer QuickTuning()()
-	workloads := []workload.Workload{workload.HashMapWL(64), workload.YCSB(64)}
+	workloads := []workload.Workload{quickWL("hashmap"), workload.YCSB(64)}
 	opts := Options{Quick: true, Seed: 3}
 	opts.Workers = 1
 	m1, err := RunMatrixOn(opts, workloads, engine.AllSchemes)

@@ -28,7 +28,7 @@ func Figure10(opts Options) (*Grid, error) {
 		txs = 8000
 		commitLog = 1 << 18
 	}
-	suite := workload.SyntheticSuite()
+	suite := workload.SyntheticSuite(opts.WL)
 	g := &Grid{
 		Title:   "Figure 10: HOOP throughput vs GC period (normalized to the 2 ms point; higher is better)",
 		RowName: "workload",
@@ -127,6 +127,14 @@ func Figure11(opts Options) (*Grid, persist.RecoveryReport, error) {
 	return g, rep, nil
 }
 
+// ycsb1k is the Figure 12/13 workload: the caller's base options with the
+// paper's 1 KB items pinned.
+func ycsb1k(opts Options) workload.Options {
+	o := opts.WL
+	o.ValBytes = 1024
+	return o
+}
+
 // Figure12 measures YCSB throughput sensitivity to NVM read and write
 // latency: one sweep varies the read latency with the write latency at its
 // default 150 ns, the other varies the write latency with the read latency
@@ -134,7 +142,7 @@ func Figure11(opts Options) (*Grid, persist.RecoveryReport, error) {
 func Figure12(opts Options) (*Grid, error) {
 	latencies := []int{50, 100, 150, 200, 250}
 	txs := opts.txPerCell() / 2
-	wl := workload.YCSB(1024)
+	wl := workload.MustBuild("ycsb", ycsb1k(opts))
 	g := &Grid{
 		Title:   "Figure 12: YCSB-1k HOOP throughput (Ktx/s) vs NVM latency",
 		RowName: "sweep",
@@ -190,7 +198,7 @@ func Figure13(opts Options) (*Grid, error) {
 		sizes = []int{16 << 10, 32 << 10, 64 << 10, 128 << 10, 256 << 10, 512 << 10}
 		txs = 2500
 	}
-	wl := workload.YCSB(1024)
+	wl := workload.MustBuild("ycsb", ycsb1k(opts))
 	g := &Grid{
 		Title:   "Figure 13: YCSB-1k HOOP throughput vs mapping-table size (normalized to 256 KB)",
 		RowName: "metric",

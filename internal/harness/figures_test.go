@@ -144,7 +144,7 @@ func TestStaticTablesRender(t *testing.T) {
 			t.Errorf("static tables missing %q", needle)
 		}
 	}
-	if len(workload.PaperSuite()) != 7 {
+	if len(workload.PaperSuite(workload.Options{})) != 7 {
 		t.Errorf("paper suite must have 7 benchmarks")
 	}
 }

@@ -58,3 +58,73 @@ func TestQuickGridsGolden(t *testing.T) {
 			path, got, want)
 	}
 }
+
+// TestSweepGridsGolden locks the two sweep sections' quick-mode grids —
+// throughput vs value size (YCSB-A, 64 B–64 KB) and throughput vs
+// range-scan fraction — to a golden file, and holds the sweep pipeline to
+// the same worker-count bit-identity bar as the figure matrix.
+func TestSweepGridsGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two full sweep matrices")
+	}
+	render := func(workers int) string {
+		var b strings.Builder
+		for _, f := range []func(Options) (*Grid, error){SweepValSize, SweepScanFrac} {
+			g, err := f(Options{Quick: true, Seed: 1, Workers: workers})
+			if err != nil {
+				t.Fatal(err)
+			}
+			g.Render(&b)
+			b.WriteString("\n")
+		}
+		return b.String()
+	}
+	got := render(1)
+	if got4 := render(4); got4 != got {
+		t.Fatalf("sweep grids differ between 1 and 4 workers\n1 worker:\n%s\n4 workers:\n%s", got, got4)
+	}
+
+	path := filepath.Join("testdata", "sweep_grids.golden")
+	if *updateGolden {
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s", path)
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden (regenerate with -update): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("sweep grids diverged from golden %s; if a simulation-model change is intentional, regenerate with -update.\ngot:\n%s\nwant:\n%s",
+			path, got, want)
+	}
+}
+
+// TestYCSBSuiteWorkerDeterminism holds the registry-built YCSB A–F suite to
+// the figure matrix's worker-count bit-identity bar: the rendered throughput
+// grid and headline block must be byte-identical at -workers 1 and
+// -workers 4. CI runs it under the race detector, so the cells are sized
+// small.
+func TestYCSBSuiteWorkerDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full 6x7 YCSB matrix, twice")
+	}
+	render := func(workers int) string {
+		opts := Options{Quick: true, Seed: 1, Workers: workers,
+			TxsPerCell: 200, WL: workload.Options{Keys: 256}}
+		m, err := RunMatrixOn(opts, workload.YCSBSuite(opts.WL), engine.AllSchemes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var b strings.Builder
+		Figure7a(m).Render(&b)
+		b.WriteString(FormatHeadline(ComputeHeadline(m)))
+		return b.String()
+	}
+	got := render(1)
+	if got4 := render(4); got4 != got {
+		t.Fatalf("YCSB suite output differs between 1 and 4 workers\n1 worker:\n%s\n4 workers:\n%s", got, got4)
+	}
+}

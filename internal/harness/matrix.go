@@ -20,9 +20,14 @@ type Matrix struct {
 	Stats CellStats
 }
 
-// RunMatrix measures every paper workload on every scheme.
+// RunMatrix measures every paper workload on every scheme, or the suite
+// the caller selected via opts.Suite.
 func RunMatrix(opts Options) (*Matrix, error) {
-	return RunMatrixOn(opts, workload.PaperSuite(), engine.AllSchemes)
+	suite := opts.Suite
+	if len(suite) == 0 {
+		suite = workload.PaperSuite(opts.WL)
+	}
+	return RunMatrixOn(opts, suite, engine.AllSchemes)
 }
 
 // RunMatrixOn measures the given workloads on the given schemes, executing
@@ -314,7 +319,11 @@ func ComputeHeadline(m *Matrix) Headline {
 			otherM := m.Cells[w][s]
 			tputR = append(tputR, hoopM.Throughput()/otherM.Throughput())
 			latR = append(latR, float64(hoopM.AvgLatency())/float64(otherM.AvgLatency()))
-			trafR = append(trafR, otherM.WritesPerTx()/hoopM.WritesPerTx())
+			// Read-only workloads (YCSB-C) write nothing under any scheme;
+			// a traffic ratio is undefined there, so they sit out the mean.
+			if hoopM.WritesPerTx() > 0 && otherM.WritesPerTx() > 0 {
+				trafR = append(trafR, otherM.WritesPerTx()/hoopM.WritesPerTx())
+			}
 		}
 		h.ThroughputGainVs[s] = geoMean(tputR) - 1
 		h.LatencyCutVs[s] = 1 - geoMean(latR)

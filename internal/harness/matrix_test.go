@@ -21,7 +21,7 @@ func TestMatrixOrderings(t *testing.T) {
 	if testing.Short() {
 		t.Skip("matrix run is seconds-long")
 	}
-	m := calibrationMatrix(t, workload.PaperSuite())
+	m := calibrationMatrix(t, workload.PaperSuite(workload.Options{}))
 	for _, w := range m.Workloads {
 		for _, s := range m.Schemes {
 			c := m.Cells[w][s]

@@ -15,6 +15,7 @@ import (
 	"hoop/internal/engine"
 	"hoop/internal/sim"
 	"hoop/internal/telemetry"
+	"hoop/internal/workload"
 )
 
 // Options scales the experiments.
@@ -47,6 +48,23 @@ type Options struct {
 	// (hoopbench -directmatrix). Results are bit-identical either way;
 	// this exists as an escape hatch and for equivalence testing.
 	DirectMatrix bool
+	// WL is the base workload.Options overlaid on every workload the
+	// experiments build (zero fields keep each workload's defaults). Tests
+	// shrink key counts with it; hoopbench maps sizing flags onto it.
+	WL workload.Options
+	// Suite, when non-empty, replaces the paper suite in the shared
+	// Figure 7–9 matrix (hoopbench -suite / -workloads).
+	Suite []workload.Workload
+	// CacheMax, when positive, caps the on-disk cell cache (CacheDir) at
+	// that many bytes; least-recently-used entries are evicted after each
+	// store. Zero means unlimited.
+	CacheMax int64
+	// TxsPerCell, when positive, overrides the measured transactions per
+	// matrix cell (default 24000, or 1200 in Quick mode). The sweep
+	// sections use it: a 64 KB-value transaction moves three orders of
+	// magnitude more data than a 64 B one, so sweep cells need far fewer
+	// transactions for a stable mean.
+	TxsPerCell int
 }
 
 // workers resolves the effective worker count (<=0 → GOMAXPROCS).
@@ -59,6 +77,9 @@ func (o Options) workers() int {
 
 // txPerCell reports the measured transactions per (workload, scheme) cell.
 func (o Options) txPerCell() int {
+	if o.TxsPerCell > 0 {
+		return o.TxsPerCell
+	}
 	if o.Quick {
 		return 1200
 	}

@@ -5,6 +5,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"hoop/internal/workload"
 )
 
 func sampleGrid() *Grid {
@@ -109,9 +111,7 @@ func TestWearUniformity(t *testing.T) {
 	if testing.Short() {
 		t.Skip("seconds-long")
 	}
-	restore := QuickTuning()
-	defer restore()
-	rep, err := Wear(Options{Quick: true, Seed: 1})
+	rep, err := Wear(Options{Quick: true, Seed: 1, WL: workload.Options{Keys: 4096}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -130,11 +130,10 @@ func TestRunSectionsQuickSubset(t *testing.T) {
 	if testing.Short() {
 		t.Skip("seconds-long")
 	}
-	restore := QuickTuning()
-	defer restore()
 	dir := t.TempDir()
 	var b strings.Builder
-	_, err := RunSections(&b, Options{Quick: true, Seed: 1, Charts: true, ArtifactDir: dir},
+	_, err := RunSections(&b, Options{Quick: true, Seed: 1, Charts: true, ArtifactDir: dir,
+		WL: workload.Options{Keys: 4096}},
 		[]string{"tables", "area", "fig11"})
 	if err != nil {
 		t.Fatal(err)

@@ -123,7 +123,7 @@ func (g *gatedSink) Emit(e telemetry.Event) {
 // window doubles as the cell's own matrix result. Returns the system so
 // tests can compare durable images.
 func captureCellRun(c Cell) (Metrics, *workload.Captured, *engine.System, error) {
-	sys, err := buildSystem(c.Scheme, c.Mut)
+	sys, err := buildSystem(c.Scheme, c.mut())
 	if err != nil {
 		return Metrics{}, nil, nil, err
 	}
@@ -179,7 +179,7 @@ func (r *replayRunner) RunTx(env *engine.Env) {
 // recorded order, then the standard measurement window driven by replay
 // runners. Returns the system so tests can compare durable images.
 func replayCellRun(c Cell, col *matrixColumn) (met Metrics, sys *engine.System, err error) {
-	sys, err = buildSystem(c.Scheme, c.Mut)
+	sys, err = buildSystem(c.Scheme, c.mut())
 	if err != nil {
 		return Metrics{}, nil, err
 	}

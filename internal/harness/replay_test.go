@@ -84,12 +84,9 @@ func storesEqual(a, b *mem.Store) bool {
 // capturing on the first scheme and replaying on each produces the same
 // Metrics window and the same final durable image as direct execution.
 func TestReplayMatchesDirect(t *testing.T) {
-	old := workload.Tuning
-	workload.Tuning.SynKeys = 512
-	defer func() { workload.Tuning = old }()
-
 	const txs = 150
-	for _, wl := range []workload.Workload{workload.HashMapWL(64), abortMixWL()} {
+	hot := workload.MustBuild("hashmap", workload.Options{ValBytes: 64, Keys: 512})
+	for _, wl := range []workload.Workload{hot, abortMixWL()} {
 		capCell := Cell{Scheme: engine.AllSchemes[0], Workload: wl, Txs: txs, Seed: 7, Mut: smallMut}
 		capMet, cap, _, err := captureCellRun(capCell)
 		if err != nil {
@@ -144,9 +141,8 @@ func TestReplayMatchesDirect(t *testing.T) {
 // TestMatrixReplayMatchesDirectMatrix locks the two RunMatrixOn pipelines
 // against each other at the API boundary.
 func TestMatrixReplayMatchesDirectMatrix(t *testing.T) {
-	defer QuickTuning()()
 	opts := Options{Quick: true, Seed: 3, Workers: 2}
-	wls := []workload.Workload{workload.QueueWL(64)}
+	wls := []workload.Workload{quickWL("queue")}
 	schemes := []string{engine.SchemeRedo, engine.SchemeHOOP, engine.SchemeNative}
 	replayM, err := RunMatrixOn(opts, wls, schemes)
 	if err != nil {
@@ -166,8 +162,7 @@ func TestMatrixReplayMatchesDirectMatrix(t *testing.T) {
 // identical at every worker count (the acceptance bar the -race CI job
 // holds it to).
 func TestMatrixReplayWorkerDeterminism(t *testing.T) {
-	defer QuickTuning()()
-	wls := []workload.Workload{workload.HashMapWL(64)}
+	wls := []workload.Workload{quickWL("hashmap")}
 	schemes := []string{engine.SchemeRedo, engine.SchemeHOOP, engine.SchemeNative}
 	m1, err := RunMatrixOn(Options{Quick: true, Seed: 3, Workers: 1}, wls, schemes)
 	if err != nil {

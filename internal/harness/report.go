@@ -30,13 +30,17 @@ type Report struct {
 	// rate vs Zipfian theta × threads, all schemes × both cc policies).
 	Contention       *Grid
 	ContentionAborts *Grid
+	// SweepValSize and SweepScan are the value-size and scan-fraction
+	// sensitivity sweeps (sweeps.go).
+	SweepValSize *Grid
+	SweepScan    *Grid
 }
 
 // Section names accepted by RunSections. "ablation" (HOOP variants with
 // packing/coalescing disabled and condensed mapping enabled) and
 // "fig7-9-1k" (the Table III 1 KB-item data sets) extend the paper's
 // artifacts and are not part of the default run.
-var AllSections = []string{"tables", "fig7-9", "tableIV", "fig10", "fig11", "fig12", "fig13", "contention", "area"}
+var AllSections = []string{"tables", "fig7-9", "tableIV", "fig10", "fig11", "fig12", "fig13", "sweep-valsize", "sweep-scan", "contention", "area"}
 
 // ExtraSections are opt-in experiments beyond the paper's figures.
 var ExtraSections = []string{"ablation", "fig7-9-1k", "wear"}
@@ -179,6 +183,28 @@ func RunSections(w io.Writer, opts Options, sections []string) (*Report, error) 
 		done()
 	}
 
+	if want["sweep-valsize"] {
+		done := stamp("Sweep: throughput vs value size (64 B - 64 KB)")
+		g, err := SweepValSize(opts)
+		if err != nil {
+			return rep, err
+		}
+		rep.SweepValSize = g
+		render("sweep-valsize", g)
+		done()
+	}
+
+	if want["sweep-scan"] {
+		done := stamp("Sweep: throughput vs range-scan fraction")
+		g, err := SweepScanFrac(opts)
+		if err != nil {
+			return rep, err
+		}
+		rep.SweepScan = g
+		render("sweep-scan", g)
+		done()
+	}
+
 	if want["contention"] {
 		done := stamp("Contention sweep (cc policies: OCC vs wound-wait 2PL)")
 		tput, aborts, err := ContentionFigure(opts)
@@ -220,7 +246,7 @@ func RunSections(w io.Writer, opts Options, sections []string) (*Report, error) 
 
 	if want["fig7-9-1k"] {
 		done := stamp("Figures 7-9 on the 1 KB-item data sets")
-		m, err := RunMatrixOn(opts, workload.LargeItemSuite(), engine.AllSchemes)
+		m, err := RunMatrixOn(opts, workload.LargeItemSuite(opts.WL), engine.AllSchemes)
 		if err != nil {
 			return rep, err
 		}
@@ -230,14 +256,6 @@ func RunSections(w io.Writer, opts Options, sections []string) (*Report, error) 
 		done()
 	}
 	return rep, nil
-}
-
-// QuickTuning shrinks the workload working sets for fast test runs and
-// returns a restore function.
-func QuickTuning() func() {
-	old := workload.Tuning
-	workload.Tuning.SynKeys = 4096
-	return func() { workload.Tuning = old }
 }
 
 // SaveGridJSON writes a grid's JSON artifact to dir/<slug>.json, creating

@@ -109,7 +109,7 @@ func RenderTableIII(w io.Writer) {
 	fmt.Fprintln(w, "Table III: benchmarks")
 	fmt.Fprintf(w, "  %-12s %-24s %-10s %s\n", "Workload", "Description", "Stores/TX", "Write/Read")
 	fmt.Fprintln(w, "  "+strings.Repeat("-", 60))
-	for _, wl := range append(workload.PaperSuite(), workload.LargeItemSuite()...) {
+	for _, wl := range append(workload.PaperSuite(workload.Options{}), workload.LargeItemSuite(workload.Options{})...) {
 		fmt.Fprintf(w, "  %-12s %-24s %-10s %s\n", wl.Name, wl.Desc, wl.StoresPerTx, wl.WriteRead)
 	}
 }
@@ -121,13 +121,12 @@ func TableIV(opts Options) (*Grid, error) {
 	if opts.Quick {
 		counts = []int{10, 100, 1000}
 	}
-	// Table IV measures update coalescing, so the microbenchmarks run on
-	// their hot working sets (repeated updates to the same entries are
-	// what the GC coalesces).
-	old := workload.Tuning
-	workload.Tuning.SynKeys = 512
-	defer func() { workload.Tuning = old }()
-	suite := workload.PaperSuite()
+	// Table IV measures update coalescing, so the benchmarks run on their
+	// hot working sets (repeated updates to the same entries are what the
+	// GC coalesces).
+	base := opts.WL
+	base.Keys = 512
+	suite := workload.PaperSuite(base)
 	g := &Grid{
 		Title:   "Table IV: average data reduction in the GC of HOOP (coalesced fraction of modified bytes)",
 		RowName: "tx count",

@@ -59,7 +59,7 @@ func WearOn(opts Options, scheme string) (WearReport, error) {
 	if _, ok := sys.Scheme().(persist.Quiescer); !ok {
 		return WearReport{}, fmt.Errorf("harness: wear experiment needs a scheme with background migration; %s implements no persist.Quiescer", scheme)
 	}
-	runners := workload.HashMapWL(64).Runners(sys, opts.Seed+17)
+	runners := workload.MustBuild("hashmap", opts.WL).Runners(sys, opts.Seed+17)
 	sys.ResetMemoryQueues()
 	sys.Run(runners, txs)
 	quiesce(sys)

@@ -76,3 +76,50 @@ func (t *Table) Read(key uint64, buf []byte) bool {
 
 // Delete removes key. Must run inside a transaction.
 func (t *Table) Delete(key uint64) bool { return t.h.Delete(key) }
+
+// OrderedTable is a keyed table of fixed-size records with ascending-key
+// range scans, backed by the persistent B-tree. The YCSB A–F suite runs
+// over it (workload E needs scans, which the hash-backed Table cannot
+// serve).
+type OrderedTable struct {
+	bt      *structures.BTree
+	recSize int
+}
+
+// CreateOrderedTable allocates an ordered table of recSize-byte records.
+// Must run inside a transaction.
+func (db *DB) CreateOrderedTable(recSize int) *OrderedTable {
+	return &OrderedTable{
+		bt:      structures.NewBTree(db.m, db.arena, recSize),
+		recSize: recSize,
+	}
+}
+
+// RecSize reports the table's record size.
+func (t *OrderedTable) RecSize() int { return t.recSize }
+
+// Len reports the number of records.
+func (t *OrderedTable) Len() int { return t.bt.Len() }
+
+// Insert adds or overwrites the record for key. Must run inside a
+// transaction.
+func (t *OrderedTable) Insert(key uint64, rec []byte) {
+	if len(rec) != t.recSize {
+		panic(fmt.Sprintf("nstore: record is %d bytes, table holds %d", len(rec), t.recSize))
+	}
+	t.bt.Put(key, rec)
+}
+
+// Update is Insert for existing keys (full-record writes).
+func (t *OrderedTable) Update(key uint64, rec []byte) { t.Insert(key, rec) }
+
+// Read fetches the record for key into buf.
+func (t *OrderedTable) Read(key uint64, buf []byte) bool {
+	return t.bt.Get(key, buf)
+}
+
+// Scan reads up to max records with key >= start in ascending key order,
+// reusing buf per record, and returns the number read.
+func (t *OrderedTable) Scan(start uint64, max int, buf []byte) int {
+	return t.bt.Scan(start, max, buf, nil)
+}

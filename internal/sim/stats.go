@@ -145,6 +145,9 @@ const (
 	StatTxStores    = "tx.stores"
 	StatTxLoads     = "tx.loads"
 
+	StatScanOps   = "scan.ops"
+	StatScanItems = "scan.items"
+
 	StatGCRuns          = "gc.runs"
 	StatGCBytesMigrated = "gc.bytes_migrated"
 	StatGCBytesScanned  = "gc.bytes_scanned"

@@ -269,6 +269,57 @@ func (t *BTree) walk(n mem.PAddr, fn func(uint64) bool) bool {
 	return t.walk(t.ptrAt(n, nk), fn)
 }
 
+// scanNoter is implemented by memories that account range scans
+// (engine.Env); plain stores and pmem.Direct simply skip the accounting.
+type scanNoter interface {
+	NoteScan(items, bytes int)
+}
+
+// Scan reads up to max values with key >= start into buf in ascending key
+// order, one at a time (buf is reused per item; fn, when non-nil, observes
+// each key after its value lands in buf). It returns the number of items
+// read. Keys and their values live only in leaves — interior separators
+// are copies whose originals sit in the left subtree — so a leaf-only
+// in-order traversal yields each key exactly once. Every node and value
+// access flows through the simulated hierarchy; the memory's scan
+// accounting (engine.Env.NoteScan) observes the op's item and byte counts.
+func (t *BTree) Scan(start uint64, max int, buf []byte, fn func(key uint64)) int {
+	t.checkVal(buf)
+	if max <= 0 {
+		return 0
+	}
+	count := 0
+	t.scan(mem.PAddr(t.m.ReadWord(t.base+btOffRoot)), start, max, buf, fn, &count)
+	if n, ok := t.m.(scanNoter); ok {
+		n.NoteScan(count, count*t.val)
+	}
+	return count
+}
+
+func (t *BTree) scan(n mem.PAddr, start uint64, max int, buf []byte, fn func(uint64), count *int) bool {
+	nk := t.nkeys(n)
+	i := 0
+	for i < nk && start > t.keyAt(n, i) {
+		i++
+	}
+	if t.isLeaf(n) {
+		for ; i < nk && *count < max; i++ {
+			t.m.Read(t.ptrAt(n, i), buf)
+			if fn != nil {
+				fn(t.keyAt(n, i))
+			}
+			*count++
+		}
+		return *count < max
+	}
+	for ; i <= nk; i++ {
+		if !t.scan(t.ptrAt(n, i), start, max, buf, fn, count) {
+			return false
+		}
+	}
+	return true
+}
+
 // Depth reports tree height (every root-to-leaf path has equal length).
 func (t *BTree) Depth() int {
 	d := 1

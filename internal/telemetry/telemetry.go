@@ -91,6 +91,11 @@ const (
 	// the chosen shard index. Per-request rate: subscribe only when
 	// reconstructing routing decisions.
 	KindRingRoute
+	// KindScan fires once per structure-level range scan after its last
+	// item lands. Bytes is the total value bytes the scan read, Aux the
+	// item count, Core the issuing thread. Per-scan-op rate (not per item),
+	// so it rides in MaskPhases.
+	KindScan
 
 	numKinds
 )
@@ -116,6 +121,7 @@ var kindNames = [numKinds]string{
 	KindShardEnqueue: "shard_enqueue",
 	KindShardShed:    "shard_shed",
 	KindRingRoute:    "ring_route",
+	KindScan:         "scan",
 }
 
 // String returns the stable wire name of the kind ("tx_commit", "gc_start").
@@ -213,7 +219,7 @@ var MaskOps = MaskOf(KindTxBegin, KindTxCommit, KindTxAbort, KindLoad, KindStore
 // their rate is per-transaction or lower, so the overhead stays in the
 // noise.
 var MaskPhases = MaskOf(KindTxAbort, KindPersistDrain, KindSliceWrite,
-	KindGCStart, KindGCEnd, KindMapEvict, KindLogWrite, KindRecovery)
+	KindGCStart, KindGCEnd, KindMapEvict, KindLogWrite, KindRecovery, KindScan)
 
 // MaskTrace is the default -trace subscription: mechanism phases plus
 // commits, enough to reconstruct a run's timeline without per-op volume.

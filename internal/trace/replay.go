@@ -6,6 +6,7 @@ import (
 	"io"
 
 	"hoop/internal/engine"
+	"hoop/internal/mem"
 	"hoop/internal/telemetry"
 )
 
@@ -13,7 +14,7 @@ import (
 // kinds it converts into binary trace Ops. Subscribe the recorder with
 // sys.Subscribe(rec, trace.RecordMask).
 var RecordMask = telemetry.MaskOf(telemetry.KindTxBegin, telemetry.KindTxCommit,
-	telemetry.KindTxAbort, telemetry.KindLoad, telemetry.KindStore)
+	telemetry.KindTxAbort, telemetry.KindLoad, telemetry.KindStore, telemetry.KindScan)
 
 // Recorder tees a workload's operations into a trace while they execute.
 // It is a telemetry.Sink: subscribe it to a system's hub with RecordMask,
@@ -80,6 +81,10 @@ func opFromEvent(e telemetry.Event) (op Op, ok bool, err error) {
 		cp := make([]byte, len(e.Data))
 		copy(cp, e.Data)
 		return Op{Kind: OpStore, Thread: th, Addr: e.Addr, Size: uint32(len(e.Data)), Data: cp}, true, nil
+	case telemetry.KindScan:
+		// Scan ops reuse the header fields for accounting: Size is the
+		// item count (Aux), Addr the value bytes the scan read (Bytes).
+		return Op{Kind: OpScan, Thread: th, Addr: mem.PAddr(e.Bytes), Size: uint32(e.Aux)}, true, nil
 	}
 	return Op{}, false, nil
 }
@@ -164,6 +169,8 @@ func ApplyOp(env *engine.Env, op Op, buf []byte) ([]byte, error) {
 		env.Read(op.Addr, buf[:op.Size])
 	case OpStore:
 		env.Write(op.Addr, op.Data)
+	case OpScan:
+		env.NoteScan(int(op.Size), int(op.Addr))
 	default:
 		return buf, fmt.Errorf("trace: unknown op kind %d", op.Kind)
 	}

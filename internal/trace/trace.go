@@ -7,9 +7,10 @@
 // application traces.
 //
 // Format v2 adds transaction aborts (OpTxAbort) and widens the thread
-// field to uint16. The Reader still accepts v1 traces, except v1 traces
-// that claim to carry abort ops: v1 predates aborts, so an abort kind in a
-// v1 stream can only be corruption and is rejected.
+// field to uint16. Format v3 adds range-scan accounting ops (OpScan). The
+// Reader still accepts older versions, except streams that claim to carry
+// ops their version predates (an abort in v1, a scan in v1/v2): those can
+// only be corruption and are rejected.
 package trace
 
 import (
@@ -27,7 +28,8 @@ const (
 	OpTxEnd
 	OpLoad
 	OpStore
-	OpTxAbort // v2 only
+	OpTxAbort // v2 and later
+	OpScan    // v3 only
 )
 
 // Op is one traced operation. Thread identifies the issuing workload
@@ -53,6 +55,8 @@ func (o Op) String() string {
 		return fmt.Sprintf("t%d LOAD  %v +%d", o.Thread, o.Addr, o.Size)
 	case OpStore:
 		return fmt.Sprintf("t%d STORE %v +%d", o.Thread, o.Addr, o.Size)
+	case OpScan:
+		return fmt.Sprintf("t%d SCAN  %d items / %d B", o.Thread, o.Size, uint64(o.Addr))
 	}
 	return fmt.Sprintf("t%d ?%d", o.Thread, o.Kind)
 }
@@ -60,18 +64,21 @@ func (o Op) String() string {
 // Magic and versions of the binary format. The file header is 8 bytes:
 // magic u32le, version u32le. Each op follows as a fixed header plus, for
 // stores, Size bytes of inline data. The v1 op header is 14 bytes (kind
-// u8, thread u8, addr u64le, size u32le); v2 is 15 bytes (kind u8, thread
-// u16le, addr u64le, size u32le).
+// u8, thread u8, addr u64le, size u32le); v2 and v3 are 15 bytes (kind u8,
+// thread u16le, addr u64le, size u32le). Scan ops (v3) reuse the header
+// fields for accounting: Size carries the item count and Addr the total
+// value bytes the scan read.
 const (
 	magic      = 0x484F5452 // "HOTR"
 	version1   = 1
 	version2   = 2
-	version    = version2
+	version3   = 3
+	version    = version3
 	opHeaderV1 = 14
 	opHeaderV2 = 15
 )
 
-// Writer streams ops into an io.Writer, always in the current (v2) format.
+// Writer streams ops into an io.Writer, always in the current (v3) format.
 type Writer struct {
 	w       *bufio.Writer
 	started bool
@@ -134,7 +141,7 @@ func (t *Writer) Flush() error {
 	return t.w.Flush()
 }
 
-// Reader streams ops from an io.Reader. It reads both v1 and v2 traces.
+// Reader streams ops from an io.Reader. It reads v1, v2, and v3 traces.
 type Reader struct {
 	r       *bufio.Reader
 	started bool
@@ -155,7 +162,7 @@ func (t *Reader) header() error {
 		return fmt.Errorf("trace: bad magic")
 	}
 	switch v := binary.LittleEndian.Uint32(h[4:]); v {
-	case version1, version2:
+	case version1, version2, version3:
 		t.ver = v
 	default:
 		return fmt.Errorf("trace: unsupported version %d", v)
@@ -203,6 +210,10 @@ func (t *Reader) Read() (Op, error) {
 	case OpTxAbort:
 		if t.ver == version1 {
 			return Op{}, fmt.Errorf("trace: v1 trace carries a tx-abort op; the v1 format predates aborts, so the trace is corrupt — re-record it with the current writer")
+		}
+	case OpScan:
+		if t.ver < version3 {
+			return Op{}, fmt.Errorf("trace: v%d trace carries a scan op; the v%d format predates scans, so the trace is corrupt — re-record it with the current writer", t.ver, t.ver)
 		}
 	case OpStore:
 		if op.Size > 1<<20 {

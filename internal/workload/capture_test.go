@@ -9,10 +9,6 @@ import (
 )
 
 func TestCaptureShape(t *testing.T) {
-	old := Tuning
-	Tuning.SynKeys = 512
-	defer func() { Tuning = old }()
-
 	cfg := engine.DefaultConfig(engine.SchemeNative)
 	cfg.Cores, cfg.Threads, cfg.Cache.Cores = 2, 2, 2
 	cfg.Ctrl.Agents = 4
@@ -23,7 +19,7 @@ func TestCaptureShape(t *testing.T) {
 		t.Fatal(err)
 	}
 	const txs = 100
-	cap, err := Capture(sys, QueueWL(64), 5, func(runners []engine.TxRunner) {
+	cap, err := Capture(sys, MustBuild("queue", Options{ValBytes: 64, Keys: 512}), 5, func(runners []engine.TxRunner) {
 		sys.Run(runners, txs)
 	})
 	if err != nil {

@@ -1,0 +1,185 @@
+package workload
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Mix is the per-transaction operation mix of a keyed workload. The
+// weights are relative, not probabilities: Build normalizes them, so
+// {Read: 95, Update: 5} and {Read: 0.95, Update: 0.05} describe the same
+// workload.
+type Mix struct {
+	Read   float64
+	Update float64
+	Insert float64
+	Scan   float64
+	RMW    float64
+}
+
+// sum reports the total weight.
+func (m Mix) sum() float64 { return m.Read + m.Update + m.Insert + m.Scan + m.RMW }
+
+// Options carries the typed per-workload knobs that replaced the old
+// mutable Tuning global. The zero value of every field means "use the
+// workload's own default" (resolved by the factory through withDefaults),
+// so callers only set what they mean to override. Options holds no maps or
+// pointers: %+v formatting is deterministic, which the harness cell cache
+// relies on for its keys.
+type Options struct {
+	// ValBytes is the item/value size in bytes.
+	ValBytes int
+	// Keys is the per-thread key space of the keyed structures.
+	Keys int
+	// SetupFrac is the fraction of Keys loaded during setup for
+	// workloads that insert during the measured phase.
+	SetupFrac float64
+	// ScanLen is the maximum range-scan length (items per scan op).
+	ScanLen int
+	// Dist names the request distribution: "zipfian", "uniform", or
+	// "latest" (most-recently-inserted keys are hottest).
+	Dist string
+	// Theta is the Zipfian skew parameter.
+	Theta float64
+	// OpsPerTx is the maximum number of operations batched into one
+	// transaction; each transaction draws uniformly from [1, OpsPerTx].
+	OpsPerTx int
+	// Mix is the relative operation mix.
+	Mix Mix
+	// AbortEvery aborts every Nth transaction through engine.Env.TxAbort
+	// (0 disables). Workloads with AbortEvery > 0 set NeedsAbort, which
+	// the harness translates into Config.Abortable.
+	AbortEvery int
+}
+
+// withDefaults overlays o onto d field-wise: zero-valued fields of o
+// resolve to d's value.
+func (o Options) withDefaults(d Options) Options {
+	if o.ValBytes == 0 {
+		o.ValBytes = d.ValBytes
+	}
+	if o.Keys == 0 {
+		o.Keys = d.Keys
+	}
+	if o.SetupFrac == 0 {
+		o.SetupFrac = d.SetupFrac
+	}
+	if o.ScanLen == 0 {
+		o.ScanLen = d.ScanLen
+	}
+	if o.Dist == "" {
+		o.Dist = d.Dist
+	}
+	if o.Theta == 0 {
+		o.Theta = d.Theta
+	}
+	if o.OpsPerTx == 0 {
+		o.OpsPerTx = d.OpsPerTx
+	}
+	if o.Mix == (Mix{}) {
+		o.Mix = d.Mix
+	}
+	if o.AbortEvery == 0 {
+		o.AbortEvery = d.AbortEvery
+	}
+	return o
+}
+
+// setupKeys is the number of keys loaded during setup.
+func (o Options) setupKeys() int { return int(float64(o.Keys) * o.SetupFrac) }
+
+// Factory builds one workload from resolved options. Factories must treat
+// zero-valued Options fields as "use my default" (via withDefaults) and
+// record the fully resolved options in Workload.Opts, so two workloads
+// with the same name and Opts are behaviorally identical — the harness
+// cell cache keys on exactly that pair.
+type Factory func(Options) Workload
+
+var registry = struct {
+	sync.RWMutex
+	m map[string]Factory
+}{m: map[string]Factory{}}
+
+// Register makes a workload constructible by name through Build,
+// mirroring persist.Register for schemes. Each workload family registers
+// itself from init(). Register panics on an empty name, a nil factory, or
+// a duplicate registration: all three are programming errors that should
+// fail at process start, not at run time.
+func Register(name string, f Factory) {
+	if name == "" {
+		panic("workload: Register with empty workload name")
+	}
+	if f == nil {
+		panic("workload: Register " + name + " with nil factory")
+	}
+	registry.Lock()
+	defer registry.Unlock()
+	if _, dup := registry.m[name]; dup {
+		panic("workload: " + name + " registered twice")
+	}
+	registry.m[name] = f
+}
+
+// Build constructs the named workload with opt overlaid on the workload's
+// defaults. It fails with the list of registered names when the workload
+// is unknown.
+func Build(name string, opt Options) (Workload, error) {
+	registry.RLock()
+	f, ok := registry.m[name]
+	registry.RUnlock()
+	if !ok {
+		return Workload{}, fmt.Errorf("workload: unknown workload %q (registered: %s)",
+			name, strings.Join(Registered(), ", "))
+	}
+	return f(opt), nil
+}
+
+// MustBuild is Build for statically known names; it panics on error.
+func MustBuild(name string, opt Options) Workload {
+	w, err := Build(name, opt)
+	if err != nil {
+		panic(err)
+	}
+	return w
+}
+
+// Registered reports every registered workload name in sorted order.
+func Registered() []string {
+	registry.RLock()
+	defer registry.RUnlock()
+	names := make([]string, 0, len(registry.m))
+	for n := range registry.m {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Suite resolves a named suite, overlaying base onto each member's
+// defaults. Suites pin the fields that define their identity (e.g. the
+// large-item suite pins 1 KB values); base fills everything else.
+func Suite(name string, base Options) ([]Workload, error) {
+	switch name {
+	case "paper":
+		return PaperSuite(base), nil
+	case "large-item":
+		return LargeItemSuite(base), nil
+	case "synthetic":
+		return SyntheticSuite(base), nil
+	case "ycsb":
+		return YCSBSuite(base), nil
+	case "sweep-valsize":
+		return ValSizeSweepSuite(base), nil
+	case "sweep-scan":
+		return ScanSweepSuite(base), nil
+	}
+	return nil, fmt.Errorf("workload: unknown suite %q (suites: %s)",
+		name, strings.Join(SuiteNames(), ", "))
+}
+
+// SuiteNames lists the named suites Suite resolves, sorted.
+func SuiteNames() []string {
+	return []string{"large-item", "paper", "sweep-scan", "sweep-valsize", "synthetic", "ycsb"}
+}

@@ -10,8 +10,9 @@ import (
 	"hoop/internal/structures"
 )
 
-// Workload describes one benchmark of Table III and knows how to build its
-// per-thread runners.
+// Workload describes one benchmark and knows how to build its per-thread
+// runners. Table III's microbenchmarks, YCSB A–F, and the service patterns
+// are all instances constructed through the registry (Build/MustBuild).
 type Workload struct {
 	// Name as shown in the paper's figures, e.g. "hashmap-64".
 	Name string
@@ -21,19 +22,29 @@ type Workload struct {
 	StoresPerTx string
 	// WriteRead is the Table III write/read ratio column.
 	WriteRead string
+	// Opts records the fully resolved options the factory built the
+	// workload with. Together with Name it identifies the workload's
+	// behavior; the harness cell cache keys on the pair.
+	Opts Options
+	// NeedsAbort marks workloads that call env.TxAbort; the harness
+	// forces Config.Abortable for their cells.
+	NeedsAbort bool
 	// Build constructs the runner for one thread, performing its setup
 	// transactions (initial population) through env.
 	Build func(env *engine.Env, region mem.Region, seed uint64) engine.TxRunner
 }
 
 // Runners instantiates one runner per thread over equal slices of the home
-// region, running each thread's setup transactions.
+// region, running each thread's setup transactions. Per-thread seeds are
+// derived with the same splitmix64 finalizer as engine.ShardSeed: the old
+// seed+t*0x9E37+1 derivation collided across adjacent experiment seeds at
+// high thread counts (seed 1, thread 41 == seed 2, thread 40 and so on).
 func (w Workload) Runners(sys *engine.System, seed uint64) []engine.TxRunner {
 	threads := sys.Config().Threads
 	regions := pmem.Partition(sys.Layout().Home, threads)
 	out := make([]engine.TxRunner, threads)
 	for t := 0; t < threads; t++ {
-		out[t] = w.Build(sys.NewEnv(t), regions[t], seed+uint64(t)*0x9E37+1)
+		out[t] = w.Build(sys.NewEnv(t), regions[t], engine.ShardSeed(seed, t))
 	}
 	// Setup ran thread-by-thread; align the clocks so all threads start
 	// the measured phase together.
@@ -41,23 +52,21 @@ func (w Workload) Runners(sys *engine.System, seed uint64) []engine.TxRunner {
 	return out
 }
 
-// Tuning holds the suite-wide sizing knobs. The defaults size per-thread
-// working sets well past the 2 MB LLC so the native baseline shows the
-// paper's ~12% LLC miss ratio; tests shrink them for speed. Not safe to
-// mutate while systems are running.
-var Tuning = struct {
-	// SynKeys is the per-thread key space of the keyed structures; half
-	// is loaded at setup.
-	SynKeys int
-	// SetupFrac is the fraction of SynKeys loaded during setup.
-	SetupFrac float64
-}{SynKeys: 16384, SetupFrac: 0.5}
+// synthDefaults sizes per-thread working sets well past the 2 MB LLC so
+// the native baseline shows the paper's ~12% LLC miss ratio; tests shrink
+// Keys through Options for speed.
+var synthDefaults = Options{ValBytes: 64, Keys: 16384, SetupFrac: 0.5}
 
 // synVectorCap bounds vector growth.
 const synVectorCap = 1 << 20
 
-func synKeysNow() int   { return Tuning.SynKeys }
-func synSetupKeys() int { return int(float64(Tuning.SynKeys) * Tuning.SetupFrac) }
+func init() {
+	Register("vector", buildVector)
+	Register("hashmap", buildHashMap)
+	Register("queue", buildQueue)
+	Register("rbtree", buildRBTree)
+	Register("btree", buildBTree)
+}
 
 func fillItem(r *sim.Rand, buf []byte) {
 	for i := 0; i < len(buf); i += 8 {
@@ -68,14 +77,20 @@ func fillItem(r *sim.Rand, buf []byte) {
 	}
 }
 
-// Vector is the Table III vector benchmark: insert/update entries,
-// 8 stores per transaction at 64-byte items, write-only.
-func Vector(itemBytes int) Workload {
+// Vector is the Table III vector benchmark with the given item size
+// (8 stores per transaction at 64-byte items, write-only).
+func Vector(itemBytes int) Workload { return MustBuild("vector", Options{ValBytes: itemBytes}) }
+
+// buildVector is the registry factory behind Vector.
+func buildVector(opt Options) Workload {
+	o := opt.withDefaults(synthDefaults)
+	itemBytes := o.ValBytes
 	return Workload{
 		Name:        fmt.Sprintf("vector-%s", sizeTag(itemBytes)),
 		Desc:        "Insert/update entries",
 		StoresPerTx: "8",
 		WriteRead:   "100%/0%",
+		Opts:        o,
 		Build: func(env *engine.Env, region mem.Region, seed uint64) engine.TxRunner {
 			arena := pmem.NewArena(env, region)
 			env.TxBegin()
@@ -111,22 +126,28 @@ func Vector(itemBytes int) Workload {
 	}
 }
 
-// HashMapWL is the Table III hashmap benchmark.
-func HashMapWL(itemBytes int) Workload {
+// HashMapWL is the Table III hashmap benchmark with the given item size.
+func HashMapWL(itemBytes int) Workload { return MustBuild("hashmap", Options{ValBytes: itemBytes}) }
+
+// buildHashMap is the registry factory behind HashMapWL.
+func buildHashMap(opt Options) Workload {
+	o := opt.withDefaults(synthDefaults)
+	itemBytes, keys, setup := o.ValBytes, o.Keys, o.setupKeys()
 	return Workload{
 		Name:        fmt.Sprintf("hashmap-%s", sizeTag(itemBytes)),
 		Desc:        "Insert/update entries",
 		StoresPerTx: "8",
 		WriteRead:   "100%/0%",
+		Opts:        o,
 		Build: func(env *engine.Env, region mem.Region, seed uint64) engine.TxRunner {
 			arena := pmem.NewArena(env, region)
 			env.TxBegin()
 			arena.Init()
-			h := structures.NewHashMap(env, arena, synKeysNow()/4, itemBytes)
+			h := structures.NewHashMap(env, arena, keys/4, itemBytes)
 			env.TxEnd()
 			rng := sim.NewRand(seed)
 			buf := make([]byte, itemBytes)
-			for k := 0; k < synSetupKeys(); k++ {
+			for k := 0; k < setup; k++ {
 				env.TxBegin()
 				fillItem(rng, buf)
 				h.Put(uint64(k), buf)
@@ -136,11 +157,11 @@ func HashMapWL(itemBytes int) Workload {
 				env.TxBegin()
 				if rng.Bool(0.5) {
 					fillItem(rng, buf)
-					h.Put(uint64(rng.Intn(synKeysNow())), buf)
+					h.Put(uint64(rng.Intn(keys)), buf)
 				} else {
 					// Eight scattered single-word field updates.
 					for i := 0; i < 8; i++ {
-						key := uint64(rng.Intn(synKeysNow()))
+						key := uint64(rng.Intn(keys))
 						if !h.UpdateWord(key, rng.Intn(itemBytes/8), rng.Uint64()) {
 							fillItem(rng, buf)
 							h.Put(key, buf)
@@ -156,12 +177,18 @@ func HashMapWL(itemBytes int) Workload {
 
 // QueueWL is the Table III queue benchmark (~4 stores per transaction: the
 // item write plus head/tail/count pointer updates).
-func QueueWL(itemBytes int) Workload {
+func QueueWL(itemBytes int) Workload { return MustBuild("queue", Options{ValBytes: itemBytes}) }
+
+// buildQueue is the registry factory behind QueueWL.
+func buildQueue(opt Options) Workload {
+	o := opt.withDefaults(synthDefaults)
+	itemBytes := o.ValBytes
 	return Workload{
 		Name:        fmt.Sprintf("queue-%s", sizeTag(itemBytes)),
 		Desc:        "Insert/update entries",
 		StoresPerTx: "4",
 		WriteRead:   "100%/0%",
+		Opts:        o,
 		Build: func(env *engine.Env, region mem.Region, seed uint64) engine.TxRunner {
 			arena := pmem.NewArena(env, region)
 			env.TxBegin()
@@ -192,12 +219,18 @@ func QueueWL(itemBytes int) Workload {
 
 // RBTreeWL is the Table III RB-tree benchmark (2–10 stores per transaction
 // depending on rebalancing).
-func RBTreeWL(itemBytes int) Workload {
+func RBTreeWL(itemBytes int) Workload { return MustBuild("rbtree", Options{ValBytes: itemBytes}) }
+
+// buildRBTree is the registry factory behind RBTreeWL.
+func buildRBTree(opt Options) Workload {
+	o := opt.withDefaults(synthDefaults)
+	itemBytes, keys, setup := o.ValBytes, o.Keys, o.setupKeys()
 	return Workload{
 		Name:        fmt.Sprintf("rbtree-%s", sizeTag(itemBytes)),
 		Desc:        "Insert/update entries",
 		StoresPerTx: "2-10",
 		WriteRead:   "100%/0%",
+		Opts:        o,
 		Build: func(env *engine.Env, region mem.Region, seed uint64) engine.TxRunner {
 			arena := pmem.NewArena(env, region)
 			env.TxBegin()
@@ -206,7 +239,7 @@ func RBTreeWL(itemBytes int) Workload {
 			env.TxEnd()
 			rng := sim.NewRand(seed)
 			buf := make([]byte, itemBytes)
-			for k := 0; k < synSetupKeys(); k++ {
+			for k := 0; k < setup; k++ {
 				env.TxBegin()
 				fillItem(rng, buf)
 				tr.Put(uint64(k*2), buf)
@@ -214,7 +247,7 @@ func RBTreeWL(itemBytes int) Workload {
 			}
 			return engine.TxRunnerFunc(func(env *engine.Env) {
 				env.TxBegin()
-				key := uint64(rng.Intn(synKeysNow()))
+				key := uint64(rng.Intn(keys))
 				// Half the transactions are sparse field updates of an
 				// existing entry (the 2-store end of the Table III band);
 				// misses and the other half insert whole entries.
@@ -235,12 +268,18 @@ func RBTreeWL(itemBytes int) Workload {
 
 // BTreeWL is the Table III B-tree benchmark (2–12 stores per transaction
 // depending on node splits).
-func BTreeWL(itemBytes int) Workload {
+func BTreeWL(itemBytes int) Workload { return MustBuild("btree", Options{ValBytes: itemBytes}) }
+
+// buildBTree is the registry factory behind BTreeWL.
+func buildBTree(opt Options) Workload {
+	o := opt.withDefaults(synthDefaults)
+	itemBytes, keys, setup := o.ValBytes, o.Keys, o.setupKeys()
 	return Workload{
 		Name:        fmt.Sprintf("btree-%s", sizeTag(itemBytes)),
 		Desc:        "Insert/update entries",
 		StoresPerTx: "2-12",
 		WriteRead:   "100%/0%",
+		Opts:        o,
 		Build: func(env *engine.Env, region mem.Region, seed uint64) engine.TxRunner {
 			arena := pmem.NewArena(env, region)
 			env.TxBegin()
@@ -249,7 +288,7 @@ func BTreeWL(itemBytes int) Workload {
 			env.TxEnd()
 			rng := sim.NewRand(seed)
 			buf := make([]byte, itemBytes)
-			for k := 0; k < synSetupKeys(); k++ {
+			for k := 0; k < setup; k++ {
 				env.TxBegin()
 				fillItem(rng, buf)
 				tr.Put(uint64(k*2), buf)
@@ -257,7 +296,7 @@ func BTreeWL(itemBytes int) Workload {
 			}
 			return engine.TxRunnerFunc(func(env *engine.Env) {
 				env.TxBegin()
-				key := uint64(rng.Intn(synKeysNow()))
+				key := uint64(rng.Intn(keys))
 				if rng.Bool(0.5) {
 					if !tr.UpdateWord(key, rng.Intn(itemBytes/8), rng.Uint64()) {
 						fillItem(rng, buf)
@@ -280,26 +319,32 @@ func sizeTag(itemBytes int) string {
 	return fmt.Sprintf("%d", itemBytes)
 }
 
-// PaperSuite returns the seven benchmarks of Figures 7–9: the five
+// PaperSuite returns the seven benchmarks of Figures 7–9 — the five
 // synthetic structures with 64-byte items, YCSB with 1 KB pairs, and
-// TPC-C new-order.
-func PaperSuite() []Workload {
+// TPC-C new-order — with base overlaid on each member's defaults.
+func PaperSuite(base Options) []Workload {
 	return []Workload{
-		Vector(64), HashMapWL(64), QueueWL(64), RBTreeWL(64), BTreeWL(64),
-		YCSB(1024), TPCC(),
+		MustBuild("vector", base), MustBuild("hashmap", base), MustBuild("queue", base),
+		MustBuild("rbtree", base), MustBuild("btree", base),
+		MustBuild("ycsb", base), MustBuild("tpcc", base),
 	}
 }
 
 // LargeItemSuite returns the 1 KB-item variants of the synthetic
 // benchmarks (each Table III workload has a second data set of 1 KB items).
-func LargeItemSuite() []Workload {
+func LargeItemSuite(base Options) []Workload {
+	base.ValBytes = 1024
 	return []Workload{
-		Vector(1024), HashMapWL(1024), QueueWL(1024), RBTreeWL(1024), BTreeWL(1024),
+		MustBuild("vector", base), MustBuild("hashmap", base), MustBuild("queue", base),
+		MustBuild("rbtree", base), MustBuild("btree", base),
 	}
 }
 
 // SyntheticSuite returns just the five 64-byte synthetic benchmarks
 // (Figure 10 and Table IV use these).
-func SyntheticSuite() []Workload {
-	return []Workload{Vector(64), HashMapWL(64), QueueWL(64), RBTreeWL(64), BTreeWL(64)}
+func SyntheticSuite(base Options) []Workload {
+	return []Workload{
+		MustBuild("vector", base), MustBuild("hashmap", base), MustBuild("queue", base),
+		MustBuild("rbtree", base), MustBuild("btree", base),
+	}
 }

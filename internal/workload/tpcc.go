@@ -39,6 +39,12 @@ func (db *tpccDB) rec(base mem.PAddr, i int) mem.PAddr {
 	return base + mem.PAddr(i*tpccRecBytes)
 }
 
+func init() {
+	// TPC-C's scaling is fixed by the constants above; the factory
+	// ignores Options so every tpcc build is behaviorally identical.
+	Register("tpcc", func(Options) Workload { return TPCC() })
+}
+
 // TPCC returns the new-order workload.
 func TPCC() Workload {
 	return Workload{

@@ -1,6 +1,7 @@
 package workload
 
 import (
+	"fmt"
 	"math"
 	"testing"
 
@@ -59,7 +60,7 @@ func TestZipfDeterminism(t *testing.T) {
 }
 
 func TestAllWorkloadsExecute(t *testing.T) {
-	suite := append(PaperSuite(), LargeItemSuite()...)
+	suite := append(PaperSuite(Options{}), LargeItemSuite(Options{})...)
 	for _, w := range suite {
 		w := w
 		t.Run(w.Name, func(t *testing.T) {
@@ -158,6 +159,25 @@ func TestVectorScatteredUpdatesSpreadLines(t *testing.T) {
 	perTx := float64(snap.Stores) / float64(snap.Txs)
 	if perTx < 6 || perTx > 12 {
 		t.Fatalf("vector stores/tx = %.1f", perTx)
+	}
+}
+
+// TestRunnerSeedsDistinctAcrossExperimentSeeds locks the Runners seed
+// derivation. The old seed+t*0x9E37+1 arithmetic collided across adjacent
+// experiment seeds at high thread counts (seed 1, thread 41 drew the same
+// stream as seed 2, thread 40), silently correlating runs that tests
+// treated as independent. The splitmix64 derivation shared with
+// engine.ShardSeed must stay pairwise distinct over a dense grid.
+func TestRunnerSeedsDistinctAcrossExperimentSeeds(t *testing.T) {
+	seen := map[uint64]string{}
+	for seed := uint64(1); seed <= 8; seed++ {
+		for th := 0; th < 64; th++ {
+			v := engine.ShardSeed(seed, th)
+			if prev, dup := seen[v]; dup {
+				t.Fatalf("seed collision: (seed %d, thread %d) == %s", seed, th, prev)
+			}
+			seen[v] = fmt.Sprintf("(seed %d, thread %d)", seed, th)
+		}
 	}
 }
 

@@ -9,34 +9,50 @@ import (
 	"hoop/internal/sim"
 )
 
-// YCSB parameters (§IV-A): 80% updates / 20% reads over a Zipfian key
-// distribution against an N-store database; key-value pairs of 512 B or
-// 1 KB. Each transaction batches a few operations, landing in the Table III
-// range of 8–32 stores per transaction.
-const (
-	ycsbKeysPerThread = 4096
-	ycsbUpdateRatio   = 0.8
-	ycsbZipfTheta     = 0.99
-	ycsbMaxOpsPerTx   = 4
-)
+// ycsbDefaults are the §IV-A parameters: 80% updates / 20% reads over a
+// Zipfian key distribution against an N-store database; 1 KB key-value
+// pairs. Each transaction batches a few operations, landing in the
+// Table III range of 8–32 stores per transaction.
+var ycsbDefaults = Options{
+	ValBytes:  1024,
+	Keys:      4096,
+	SetupFrac: 1, // the load phase populates the whole key space
+	Dist:      "zipfian",
+	Theta:     0.99,
+	OpsPerTx:  4,
+	Mix:       Mix{Update: 0.8, Read: 0.2},
+}
 
-// YCSB returns the cloud-serving benchmark with the given value size.
-func YCSB(valBytes int) Workload {
+func init() {
+	Register("ycsb", buildYCSB)
+}
+
+// YCSB returns the paper's cloud-serving benchmark with the given value
+// size.
+func YCSB(valBytes int) Workload { return MustBuild("ycsb", Options{ValBytes: valBytes}) }
+
+// buildYCSB is the registry factory behind YCSB: the paper's update-heavy
+// mix over the hash-table N-store backend. (The YCSB A–F suite runs over
+// the ordered backend; see ycsbsuite.go.)
+func buildYCSB(opt Options) Workload {
+	o := opt.withDefaults(ycsbDefaults)
+	updateRatio := o.Mix.Update / (o.Mix.Update + o.Mix.Read)
 	return Workload{
-		Name:        fmt.Sprintf("ycsb-%s", sizeTag(valBytes)),
+		Name:        fmt.Sprintf("ycsb-%s", sizeTag(o.ValBytes)),
 		Desc:        "Cloud benchmark",
 		StoresPerTx: "8-32",
-		WriteRead:   "80%/20%",
+		WriteRead:   mixWriteRead(Mix{Update: o.Mix.Update, Read: o.Mix.Read}),
+		Opts:        o,
 		Build: func(env *engine.Env, region mem.Region, seed uint64) engine.TxRunner {
 			env.TxBegin()
 			db := nstore.Open(env, region)
-			table := db.CreateTable(ycsbKeysPerThread, valBytes)
+			table := db.CreateTable(o.Keys, o.ValBytes)
 			env.TxEnd()
 			rng := sim.NewRand(seed)
-			zipf := NewZipf(sim.NewRand(seed^0xFACE), ycsbKeysPerThread, ycsbZipfTheta)
-			buf := make([]byte, valBytes)
-			// Load phase: populate the whole key space.
-			for k := 0; k < ycsbKeysPerThread; k++ {
+			zipf := NewZipf(sim.NewRand(seed^0xFACE), uint64(o.Keys), o.Theta)
+			buf := make([]byte, o.ValBytes)
+			// Load phase: populate the key space.
+			for k := 0; k < o.setupKeys(); k++ {
 				env.TxBegin()
 				fillItem(rng, buf)
 				table.Insert(uint64(k), buf)
@@ -44,10 +60,10 @@ func YCSB(valBytes int) Workload {
 			}
 			return engine.TxRunnerFunc(func(env *engine.Env) {
 				env.TxBegin()
-				ops := 1 + rng.Intn(ycsbMaxOpsPerTx)
+				ops := 1 + rng.Intn(o.OpsPerTx)
 				for i := 0; i < ops; i++ {
 					key := zipf.Next()
-					if rng.Bool(ycsbUpdateRatio) {
+					if rng.Bool(updateRatio) {
 						fillItem(rng, buf)
 						table.Update(key, buf)
 					} else {
@@ -58,4 +74,14 @@ func YCSB(valBytes int) Workload {
 			})
 		},
 	}
+}
+
+// mixWriteRead renders a Mix as the Table III write/read-percent string.
+func mixWriteRead(m Mix) string {
+	total := m.sum()
+	if total == 0 {
+		return "0%/0%"
+	}
+	w := (m.Update + m.Insert + m.RMW) / total
+	return fmt.Sprintf("%.0f%%/%.0f%%", w*100, (1-w)*100)
 }

@@ -1,0 +1,312 @@
+package workload
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"hoop/internal/engine"
+	"hoop/internal/mem"
+	"hoop/internal/nstore"
+	"hoop/internal/pmem"
+	"hoop/internal/sim"
+	"hoop/internal/structures"
+)
+
+// The YCSB core workloads A–F over the ordered N-store backend. Each
+// variant pins the mix (and, for D, the request distribution) that defines
+// it; everything else — value size, key count, scan length, skew — comes
+// from Options. E exercises the structure layer's range-scan op; F's
+// read-modify-write transactions abort every AbortEvery-th transaction,
+// composing with the engine's abort path.
+var ycsbVariantDefaults = Options{
+	ValBytes:  1024,
+	Keys:      4096,
+	SetupFrac: 0.5,
+	ScanLen:   16,
+	Dist:      "zipfian",
+	Theta:     0.99,
+	OpsPerTx:  4,
+}
+
+// ycsbVariants defines the per-letter identity of the A–F suite.
+var ycsbVariants = []struct {
+	letter string
+	desc   string
+	stores string
+	pin    Options
+}{
+	{"a", "Update heavy (50/50)", "4-34", Options{Mix: Mix{Read: 0.5, Update: 0.5}}},
+	{"b", "Read mostly (95/5)", "1-10", Options{Mix: Mix{Read: 0.95, Update: 0.05}}},
+	{"c", "Read only", "1-2", Options{Mix: Mix{Read: 1}}},
+	{"d", "Read latest, inserts", "1-18", Options{Mix: Mix{Read: 0.95, Insert: 0.05}, Dist: "latest"}},
+	{"e", "Short range scans, inserts", "1-18", Options{Mix: Mix{Scan: 0.95, Insert: 0.05}}},
+	{"f", "Read-modify-write", "4-34", Options{Mix: Mix{Read: 0.5, RMW: 0.5}, AbortEvery: 25}},
+}
+
+// scanDefaults parameterize the standalone scan workload whose scan
+// fraction the sweep-scan section varies.
+var scanDefaults = Options{
+	ValBytes:  64,
+	Keys:      4096,
+	SetupFrac: 1,
+	ScanLen:   16,
+	Dist:      "zipfian",
+	Theta:     0.99,
+	OpsPerTx:  2,
+	Mix:       Mix{Scan: 0.5, Update: 0.5},
+}
+
+func init() {
+	for _, v := range ycsbVariants {
+		v := v
+		pinned := v.pin
+		Register("ycsb-"+v.letter, func(opt Options) Workload {
+			// The variant's pinned fields win over both the caller's
+			// options and the shared defaults.
+			o := pinned.withDefaults(opt.withDefaults(ycsbVariantDefaults))
+			return buildOrdered("ycsb-"+v.letter, v.desc, v.stores, o)
+		})
+	}
+	Register("scan", func(opt Options) Workload {
+		o := opt.withDefaults(scanDefaults)
+		total := o.Mix.sum()
+		pct := int(o.Mix.Scan/total*100 + 0.5)
+		return buildOrdered(fmt.Sprintf("scan%02d", pct), "Range scan / update mix", "1-10", o)
+	})
+	Register("pubsub", buildPubSub)
+}
+
+// YCSBSuite returns the six core workloads A–F.
+func YCSBSuite(base Options) []Workload {
+	out := make([]Workload, 0, len(ycsbVariants))
+	for _, v := range ycsbVariants {
+		out = append(out, MustBuild("ycsb-"+v.letter, base))
+	}
+	return out
+}
+
+// sweepValSizes spans 64 B (sub-line, stressing data packing) to 64 KB
+// (multi-page values, stressing LAD spill and the mapping table).
+var sweepValSizes = []int{64, 256, 1024, 4096, 16384, 65536}
+
+// ValSizeSweepSuite returns YCSB-A at each sweep value size. The key count
+// scales to hold the per-thread data footprint — the quantity that must
+// stay comparable across value sizes — near 16 MB (well past the LLC)
+// without exhausting the per-thread arena at 64 KB values. A non-zero
+// base.Keys rescales the footprint target to base.Keys 64 B items, which
+// is how quick runs shrink the whole sweep proportionally.
+func ValSizeSweepSuite(base Options) []Workload {
+	target := 16 << 20
+	if base.Keys != 0 {
+		target = base.Keys * 64
+	}
+	out := make([]Workload, 0, len(sweepValSizes))
+	for _, vb := range sweepValSizes {
+		o := base
+		o.ValBytes = vb
+		keys := target / vb
+		if keys > 4096 {
+			keys = 4096
+		}
+		if keys < 64 {
+			keys = 64
+		}
+		o.Keys = keys
+		if vb >= 16384 && o.OpsPerTx == 0 {
+			// A single multi-page op is already tens of lines of traffic.
+			o.OpsPerTx = 1
+		}
+		out = append(out, MustBuild("ycsb-a", o))
+	}
+	return out
+}
+
+// sweepScanFracs are the scan-fraction points of the sweep-scan section.
+var sweepScanFracs = []float64{0, 0.25, 0.5, 0.75, 0.95}
+
+// ScanSweepSuite returns the scan workload at each scan fraction (the
+// remainder of the mix is whole-value updates).
+func ScanSweepSuite(base Options) []Workload {
+	out := make([]Workload, 0, len(sweepScanFracs))
+	for _, f := range sweepScanFracs {
+		o := base
+		o.Mix = Mix{Scan: f, Update: 1 - f}
+		out = append(out, MustBuild("scan", o))
+	}
+	return out
+}
+
+// Operation codes drawn from a Mix.
+const (
+	opRead = iota
+	opUpdate
+	opInsert
+	opScan
+	opRMW
+)
+
+// pickOp draws one operation from the normalized mix.
+func pickOp(rng *sim.Rand, m Mix, total float64) int {
+	r := rng.Float64() * total
+	switch {
+	case r < m.Read:
+		return opRead
+	case r < m.Read+m.Update:
+		return opUpdate
+	case r < m.Read+m.Update+m.Insert:
+		return opInsert
+	case r < m.Read+m.Update+m.Insert+m.Scan:
+		return opScan
+	}
+	return opRMW
+}
+
+// buildOrdered is the shared builder behind YCSB A–F and the scan
+// workload: a mix-driven key-value runner over nstore's ordered
+// (B-tree-backed) table.
+func buildOrdered(base, desc, stores string, o Options) Workload {
+	total := o.Mix.sum()
+	if total <= 0 {
+		panic("workload: " + base + " with empty operation mix")
+	}
+	return Workload{
+		Name:        fmt.Sprintf("%s-%s", base, sizeTag(o.ValBytes)),
+		Desc:        desc,
+		StoresPerTx: stores,
+		WriteRead:   mixWriteRead(o.Mix),
+		Opts:        o,
+		NeedsAbort:  o.AbortEvery > 0,
+		Build: func(env *engine.Env, region mem.Region, seed uint64) engine.TxRunner {
+			env.TxBegin()
+			db := nstore.Open(env, region)
+			table := db.CreateOrderedTable(o.ValBytes)
+			env.TxEnd()
+			rng := sim.NewRand(seed)
+			zipf := NewZipf(sim.NewRand(seed^0xFACE), uint64(o.Keys), o.Theta)
+			buf := make([]byte, o.ValBytes)
+			// Load phase. Insert-bearing mixes (D, E) load only the setup
+			// fraction so measured inserts extend the key space; the rest
+			// load it whole so reads never miss.
+			loaded := o.Keys
+			if o.Mix.Insert > 0 {
+				loaded = o.setupKeys()
+			}
+			if loaded < 1 {
+				loaded = 1
+			}
+			for k := 0; k < loaded; k++ {
+				env.TxBegin()
+				fillItem(rng, buf)
+				table.Insert(uint64(k), buf)
+				env.TxEnd()
+			}
+			// pickKey maps a distribution draw onto the live key range.
+			pickKey := func() uint64 {
+				switch o.Dist {
+				case "latest":
+					// Rank 0 of the Zipfian is the most recent insert.
+					return uint64(loaded-1) - zipf.Next()%uint64(loaded)
+				case "uniform":
+					return uint64(rng.Intn(loaded))
+				default:
+					return zipf.Next() % uint64(loaded)
+				}
+			}
+			txn := 0
+			return engine.TxRunnerFunc(func(env *engine.Env) {
+				env.TxBegin()
+				ops := 1
+				if o.OpsPerTx > 1 {
+					ops = 1 + rng.Intn(o.OpsPerTx)
+				}
+				for i := 0; i < ops; i++ {
+					switch pickOp(rng, o.Mix, total) {
+					case opRead:
+						table.Read(pickKey(), buf)
+					case opUpdate:
+						fillItem(rng, buf)
+						table.Update(pickKey(), buf)
+					case opInsert:
+						fillItem(rng, buf)
+						table.Insert(uint64(loaded), buf)
+						loaded++
+					case opScan:
+						n := 1 + rng.Intn(o.ScanLen)
+						table.Scan(pickKey(), n, buf)
+					case opRMW:
+						key := pickKey()
+						table.Read(key, buf)
+						binary.LittleEndian.PutUint64(buf[rng.Intn(o.ValBytes/8)*8:], rng.Uint64())
+						table.Update(key, buf)
+					}
+				}
+				if o.AbortEvery > 0 && txn%o.AbortEvery == o.AbortEvery-1 {
+					env.TxAbort()
+				} else {
+					env.TxEnd()
+				}
+				txn++
+			})
+		},
+	}
+}
+
+// pubsubDefaults parameterize the durable pub/sub pattern.
+var pubsubDefaults = Options{ValBytes: 64, OpsPerTx: 1}
+
+// pubsubSubscribers is the fixed fan-out of the pub/sub log.
+const pubsubSubscribers = 3
+
+// buildPubSub is a durable-queue/pub-sub pattern: each transaction
+// publishes one item to an append-only log and advances three persistent
+// subscriber cursors, each reading the item at its cursor. The log write
+// is sequential while the cursor words are hot in place — the two extremes
+// HOOP's out-of-place update path has to serve at once.
+func buildPubSub(opt Options) Workload {
+	o := opt.withDefaults(pubsubDefaults)
+	itemBytes := o.ValBytes
+	return Workload{
+		Name:        fmt.Sprintf("pubsub-%s", sizeTag(itemBytes)),
+		Desc:        "Durable pub/sub log",
+		StoresPerTx: "4-12",
+		WriteRead:   "70%/30%",
+		Opts:        o,
+		Build: func(env *engine.Env, region mem.Region, seed uint64) engine.TxRunner {
+			arena := pmem.NewArena(env, region)
+			env.TxBegin()
+			arena.Init()
+			log := structures.NewVector(env, arena, synVectorCap, itemBytes)
+			cursors := arena.AllocAligned(pubsubSubscribers*8, mem.LineSize)
+			env.TxEnd()
+			rng := sim.NewRand(seed)
+			buf := make([]byte, itemBytes)
+			// Setup: seed the log so subscribers start with a backlog, and
+			// persist the zeroed cursors.
+			env.TxBegin()
+			for s := 0; s < pubsubSubscribers; s++ {
+				env.WriteWord(cursors+mem.PAddr(s*8), 0)
+			}
+			env.TxEnd()
+			for i := 0; i < 16; i++ {
+				env.TxBegin()
+				fillItem(rng, buf)
+				log.Append(buf)
+				env.TxEnd()
+			}
+			return engine.TxRunnerFunc(func(env *engine.Env) {
+				env.TxBegin()
+				fillItem(rng, buf)
+				log.Append(buf)
+				for s := 0; s < pubsubSubscribers; s++ {
+					cAddr := cursors + mem.PAddr(s*8)
+					c := env.ReadWord(cAddr)
+					if int(c) < log.Len() {
+						log.Get(int(c), buf)
+						env.WriteWord(cAddr, c+1)
+					}
+				}
+				env.TxEnd()
+			})
+		},
+	}
+}
