@@ -7,7 +7,7 @@
 //	hoopbench [-quick] [-seed N] [-workers N] [-trace out.jsonl]
 //	          [-workloads ycsb-a,ycsb-e] [-suite ycsb]
 //	          [-sections tables,fig7-9,tableIV,fig10,fig11,fig12,fig13,sweep-valsize,sweep-scan,contention,area]
-//	          [-cachedir dir] [-cachemax bytes]
+//	          [-cachedir dir] [-cachemax bytes] [-cachestats]
 //	          [-cpuprofile out.pprof] [-memprofile out.pprof]
 package main
 
@@ -32,10 +32,24 @@ func main() {
 	artifacts := flag.String("artifacts", "", "directory to write per-figure JSON artifacts into")
 	cachedir := flag.String("cachedir", "", "directory memoizing matrix cells across runs (created if missing; reruns only execute cells whose inputs changed)")
 	cachemax := flag.Int64("cachemax", 0, "cap -cachedir at this many bytes, evicting least-recently-used cells (0 = unlimited)")
+	cachestats := flag.Bool("cachestats", false, "print an inventory of -cachedir (entry kinds, trace bytes, orphaned temps) and exit")
 	direct := flag.Bool("directmatrix", false, "run every matrix cell by direct workload execution instead of record-once/replay-many")
 	sections := flag.String("sections", strings.Join(harness.AllSections, ","),
 		"comma-separated experiment sections to run (extras: "+strings.Join(harness.ExtraSections, ", ")+")")
 	flag.Parse()
+	if *cachestats {
+		if *cachedir == "" {
+			fmt.Fprintln(os.Stderr, "hoopbench: -cachestats needs -cachedir")
+			os.Exit(2)
+		}
+		inv, err := harness.ReadCacheInventory(*cachedir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hoopbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("Cell cache inventory (%s):\n%s\n", *cachedir, inv)
+		return
+	}
 	stopProfiles, err := common.StartProfiles()
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "hoopbench: %v\n", err)

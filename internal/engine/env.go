@@ -228,16 +228,11 @@ func (e *Env) Write(addr mem.PAddr, data []byte) {
 	}
 }
 
-// WriteWord stores the 8-byte word v at addr.
+// WriteWord stores the 8-byte word v at addr. Store events alias the
+// written bytes only for the duration of Emit (sinks copy what they
+// keep), so the traced path shares the per-env scratch buffer too and
+// stays allocation-free.
 func (e *Env) WriteWord(addr mem.PAddr, v uint64) {
-	if e.sys.tel.Enabled(telemetry.KindStore) {
-		// Store events carry the written bytes, and sinks may retain the
-		// event past Emit; give the traced path its own buffer.
-		var b [mem.WordSize]byte
-		putLE64(b[:], v)
-		e.Write(addr, b[:])
-		return
-	}
 	putLE64(e.wbuf[:], v)
 	e.Write(addr, e.wbuf[:])
 }

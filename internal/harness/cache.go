@@ -20,25 +20,55 @@ import (
 // version participates in every key, so a bump invalidates everything.
 // v2: workload identity moved from the global Tuning to per-workload
 // Options, and per-thread runner seeds changed to engine.ShardSeed.
-const cacheSchema = "hoop-cellcache/v2"
+// v3: traces store in the compact wire format, capture keys dropped the
+// txs field (one capture serves every prefix), and the cache went
+// section-generic (direct, contention, and wear entries joined
+// capture/replay).
+const cacheSchema = "hoop-cellcache/v3"
 
-// cellCache memoizes matrix cells on disk. A capture cell is keyed by
-// everything that determines its op stream and metrics (workload name and
-// resolved options, seed, txs, full engine config); a replay cell is keyed
-// by the capture's content hash plus its own config. Cached metrics
-// round-trip through JSON exactly (sim.Histogram included), so a warm
-// rerun renders byte-identical grids. All cache I/O happens on the
-// orchestrator goroutine between cell batches — workers never touch it.
+// Entry kinds. Each kind's key string starts with its name, so kinds can
+// never alias each other even with otherwise identical fields.
+const (
+	kindCapture    = "capture"
+	kindReplay     = "replay"
+	kindDirect     = "direct"
+	kindContention = "contention"
+	kindWear       = "wear"
+)
+
+// cacheStats counts one section's cache traffic. Bytes cover the files
+// this layer reads and writes (JSON sidecars and trace wires).
+type cacheStats struct {
+	Hits, Misses, Evictions int
+	BytesRead, BytesWritten int64
+}
+
+// cellCache memoizes harness cells on disk. A capture cell is keyed by
+// everything that determines its op stream except the transaction count
+// (a capture at T transactions serves any prefix T' <= T); replay,
+// direct, contention, and wear entries are keyed by their full inputs
+// including txs. Cached metrics round-trip through JSON exactly
+// (sim.Histogram included), so a warm rerun renders byte-identical grids.
+// All cache I/O happens on the orchestrator goroutine between cell
+// batches — workers never touch it.
 type cellCache struct {
-	dir    string
-	max    int64 // byte cap; <= 0 means unlimited
-	hits   int
-	misses int
+	dir string
+	max int64 // byte cap; <= 0 means unlimited
 	// used marks keys loaded or stored during this run: eviction skips
 	// them, so a tiny cap can never delete a trace a later replay batch
 	// of the same run still needs.
 	used map[string]bool
+	// section labels hit/miss attribution; RunSections rotates it.
+	section string
+	order   []string
+	stats   map[string]*cacheStats
 }
+
+// staleTempAge is how old an orphaned *.tmp* file must be before the
+// sweep on cache open deletes it. Temps live for milliseconds (write +
+// rename); an hour-old temp is from a dead run, but a fresh one may
+// belong to a concurrent run sharing the cache dir.
+const staleTempAge = time.Hour
 
 // openCellCache returns nil when caching is off. Tracing disables the
 // cache: a cached cell executes nothing, so it cannot feed a JSONL sink.
@@ -49,7 +79,86 @@ func openCellCache(opts Options) (*cellCache, error) {
 	if err := os.MkdirAll(opts.CacheDir, 0o755); err != nil {
 		return nil, fmt.Errorf("harness: -cachedir: %w", err)
 	}
-	return &cellCache{dir: opts.CacheDir, max: opts.CacheMax, used: map[string]bool{}}, nil
+	cc := &cellCache{dir: opts.CacheDir, max: opts.CacheMax, used: map[string]bool{}, stats: map[string]*cacheStats{}}
+	cc.sweepTemps()
+	return cc, nil
+}
+
+// sweepTemps deletes stale temp files orphaned by runs that died between
+// CreateTemp and the rename in writeFile.
+func (cc *cellCache) sweepTemps() {
+	ents, err := os.ReadDir(cc.dir)
+	if err != nil {
+		return
+	}
+	cutoff := time.Now().Add(-staleTempAge)
+	for _, ent := range ents {
+		if ent.IsDir() || !strings.Contains(ent.Name(), ".tmp") {
+			continue
+		}
+		info, err := ent.Info()
+		if err == nil && info.ModTime().Before(cutoff) {
+			os.Remove(filepath.Join(cc.dir, ent.Name()))
+		}
+	}
+}
+
+// setSection switches hit/miss attribution; "" falls back to "run".
+func (cc *cellCache) setSection(name string) {
+	if cc != nil {
+		cc.section = name
+	}
+}
+
+func (cc *cellCache) stat() *cacheStats {
+	name := cc.section
+	if name == "" {
+		name = "run"
+	}
+	s := cc.stats[name]
+	if s == nil {
+		s = &cacheStats{}
+		cc.stats[name] = s
+		cc.order = append(cc.order, name)
+	}
+	return s
+}
+
+// statsReport renders the per-section accounting block for the end-of-run
+// report; empty when the cache saw no traffic.
+func (cc *cellCache) statsReport() string {
+	if cc == nil || len(cc.order) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "Cell cache (%s):\n", cc.dir)
+	var tot cacheStats
+	for _, name := range cc.order {
+		s := cc.stats[name]
+		fmt.Fprintf(&b, "  %-14s %d hits, %d misses, %s read, %s written, %d evicted\n",
+			name+":", s.Hits, s.Misses, fmtBytes(s.BytesRead), fmtBytes(s.BytesWritten), s.Evictions)
+		tot.Hits += s.Hits
+		tot.Misses += s.Misses
+		tot.Evictions += s.Evictions
+		tot.BytesRead += s.BytesRead
+		tot.BytesWritten += s.BytesWritten
+	}
+	if len(cc.order) > 1 {
+		fmt.Fprintf(&b, "  %-14s %d hits, %d misses, %s read, %s written, %d evicted\n",
+			"total:", tot.Hits, tot.Misses, fmtBytes(tot.BytesRead), fmtBytes(tot.BytesWritten), tot.Evictions)
+	}
+	return b.String()
+}
+
+func fmtBytes(n int64) string {
+	switch {
+	case n >= 10<<20:
+		return fmt.Sprintf("%.1f MB", float64(n)/(1<<20))
+	case n >= 10<<10:
+		return fmt.Sprintf("%.1f KB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%d B", n)
+	}
 }
 
 // configCacheKey canonicalizes the post-Mut engine config. Config is all
@@ -66,6 +175,9 @@ func configCacheKey(scheme string, mut func(*engine.Config)) (string, bool) {
 	return fmt.Sprintf("%+v", cfg), true
 }
 
+// captureKey identifies a workload capture. Deliberately txs-free: the
+// capture stored under it is a full recording at some transaction count,
+// and any cell needing a shorter window replays a committed-tx prefix.
 func (cc *cellCache) captureKey(c Cell) (string, bool) {
 	if c.Sink != nil {
 		return "", false
@@ -75,8 +187,8 @@ func (cc *cellCache) captureKey(c Cell) (string, bool) {
 		return "", false
 	}
 	h := sha256.New()
-	fmt.Fprintf(h, "%s\ncapture\nworkload=%s\nseed=%d\ntxs=%d\nopts=%+v\nconfig=%s\n",
-		cacheSchema, c.Workload.Name, c.Seed, c.Txs, c.Workload.Opts, cfg)
+	fmt.Fprintf(h, "%s\n%s\nworkload=%s\nseed=%d\nopts=%+v\nconfig=%s\n",
+		cacheSchema, kindCapture, c.Workload.Name, c.Seed, c.Workload.Opts, cfg)
 	return hex.EncodeToString(h.Sum(nil)), true
 }
 
@@ -89,52 +201,152 @@ func (cc *cellCache) replayKey(c Cell, col *matrixColumn) (string, bool) {
 		return "", false
 	}
 	h := sha256.New()
-	fmt.Fprintf(h, "%s\nreplay\ntrace=%s\nsetupops=%d\ntxs=%d\nconfig=%s\n",
-		cacheSchema, col.hash, col.setupOps, c.Txs, cfg)
+	fmt.Fprintf(h, "%s\n%s\ntrace=%s\nsetupops=%d\ntxs=%d\nconfig=%s\n",
+		cacheSchema, kindReplay, col.hash, col.setupOps, c.Txs, cfg)
+	return hex.EncodeToString(h.Sum(nil)), true
+}
+
+// contentionKey identifies one contention-sweep cell. The hash covers
+// the effective engine config (thread count and abortability applied,
+// exactly as runContentionCell builds it) plus the cc-layer policy and
+// workload geometry, so a DefaultConfig or pool-size change invalidates
+// these entries like any other kind.
+func (cc *cellCache) contentionKey(c contentionCell) (string, bool) {
+	cfg, ok := configCacheKey(c.scheme, func(cfg *engine.Config) {
+		cfg.Threads = c.threads
+		if c.threads > cfg.Cores {
+			cfg.Cores = c.threads
+		}
+		cfg.Abortable = true
+	})
+	if !ok {
+		return "", false
+	}
+	h := sha256.New()
+	fmt.Fprintf(h, "%s\n%s\npolicy=%s\ntheta=%g\nkeys=%d\nopspertx=%d\ntxs=%d\nseed=%d\nconfig=%s\n",
+		cacheSchema, kindContention, c.policy, c.theta, contentionKeys, contentionOpsPerTx, c.txs, c.seed, cfg)
+	return hex.EncodeToString(h.Sum(nil)), true
+}
+
+// directKey identifies a direct-execution cell (the non-matrix sections:
+// TableIV, the GC/latency/map-size sweeps, ablation variants). Cells with
+// a custom Exec or a sink are not cacheable.
+func (cc *cellCache) directKey(c Cell) (string, bool) {
+	if c.Sink != nil || c.Exec != nil {
+		return "", false
+	}
+	cfg, ok := configCacheKey(c.Scheme, c.mut())
+	if !ok {
+		return "", false
+	}
+	h := sha256.New()
+	fmt.Fprintf(h, "%s\n%s\nworkload=%s\nseed=%d\ntxs=%d\nopts=%+v\nconfig=%s\n",
+		cacheSchema, kindDirect, c.Workload.Name, c.Seed, c.Txs, c.Workload.Opts, cfg)
+	return hex.EncodeToString(h.Sum(nil)), true
+}
+
+// wearKey identifies one wear-experiment run (scheme + effective config
+// + workload sizing + seed + transaction count).
+func (cc *cellCache) wearKey(scheme string, mut func(*engine.Config), txs int, opts Options) (string, bool) {
+	cfg, ok := configCacheKey(scheme, mut)
+	if !ok {
+		return "", false
+	}
+	h := sha256.New()
+	fmt.Fprintf(h, "%s\n%s\nworkload=hashmap\nseed=%d\ntxs=%d\nopts=%+v\nconfig=%s\n",
+		cacheSchema, kindWear, opts.Seed, txs, opts.WL, cfg)
 	return hex.EncodeToString(h.Sum(nil)), true
 }
 
 // captureEntry is the JSON sidecar of a cached capture cell; the trace
-// wire bytes live next to it in <key>.trc.
+// wire bytes live next to it in <key>.trc. Txs is the transaction count
+// the capture was measured at — cells needing fewer replay a prefix,
+// cells needing more re-capture (and overwrite the entry).
 type captureEntry struct {
 	Schema    string  `json:"schema"`
 	Workload  string  `json:"workload"`
 	Threads   int     `json:"threads"`
 	SetupOps  int     `json:"setup_ops"`
+	Txs       int     `json:"txs"`
 	TraceHash string  `json:"trace_hash"`
 	Metrics   Metrics `json:"metrics"`
 }
 
-type replayEntry struct {
+// metricsEntry is the JSON sidecar of every metrics-valued cache kind
+// (replay, direct, contention).
+type metricsEntry struct {
 	Schema  string  `json:"schema"`
+	Kind    string  `json:"kind"`
 	Scheme  string  `json:"scheme"`
 	Metrics Metrics `json:"metrics"`
+}
+
+// wearEntry wraps a cached WearReport — the one cache kind whose value
+// is not a Metrics window.
+type wearEntry struct {
+	Schema string     `json:"schema"`
+	Kind   string     `json:"kind"`
+	Scheme string     `json:"scheme"`
+	Report WearReport `json:"report"`
+}
+
+func (cc *cellCache) loadWear(key string) (WearReport, bool) {
+	raw, err := os.ReadFile(filepath.Join(cc.dir, key+".json"))
+	if err != nil {
+		cc.stat().Misses++
+		return WearReport{}, false
+	}
+	var e wearEntry
+	if err := json.Unmarshal(raw, &e); err != nil || e.Schema != cacheSchema || e.Kind != kindWear {
+		cc.stat().Misses++
+		return WearReport{}, false
+	}
+	s := cc.stat()
+	s.Hits++
+	s.BytesRead += int64(len(raw))
+	cc.markUsed(key)
+	return e.Report, true
+}
+
+func (cc *cellCache) storeWear(key, scheme string, rep WearReport) error {
+	data, err := json.Marshal(wearEntry{Schema: cacheSchema, Kind: kindWear, Scheme: scheme, Report: rep})
+	if err != nil {
+		return fmt.Errorf("harness: cache: %w", err)
+	}
+	if err := cc.writeFile(key+".json", data); err != nil {
+		return err
+	}
+	cc.markUsed(key)
+	return cc.enforceMax()
 }
 
 func (cc *cellCache) tracePath(key string) string {
 	return filepath.Join(cc.dir, key+".trc")
 }
 
-// loadCapture returns the cached capture entry, or miss on any problem —
-// missing files, wrong schema, wrong workload — so corruption degrades to
+// loadCapture returns the cached capture entry if it covers at least
+// needTxs transactions, or miss on any problem — missing files, wrong
+// schema, wrong workload, too-short capture — so corruption degrades to
 // re-execution, never to wrong numbers.
-func (cc *cellCache) loadCapture(key, workloadName string) (*captureEntry, bool) {
+func (cc *cellCache) loadCapture(key, workloadName string, needTxs int) (*captureEntry, bool) {
 	raw, err := os.ReadFile(filepath.Join(cc.dir, key+".json"))
 	if err != nil {
-		cc.misses++
+		cc.stat().Misses++
 		return nil, false
 	}
 	var e captureEntry
 	if err := json.Unmarshal(raw, &e); err != nil || e.Schema != cacheSchema || e.Workload != workloadName ||
-		e.Threads <= 0 || e.TraceHash == "" {
-		cc.misses++
+		e.Threads <= 0 || e.Txs < needTxs || e.TraceHash == "" {
+		cc.stat().Misses++
 		return nil, false
 	}
 	if _, err := os.Stat(cc.tracePath(key)); err != nil {
-		cc.misses++
+		cc.stat().Misses++
 		return nil, false
 	}
-	cc.hits++
+	s := cc.stat()
+	s.Hits++
+	s.BytesRead += int64(len(raw))
 	cc.markUsed(key)
 	return &e, true
 }
@@ -145,6 +357,7 @@ func (cc *cellCache) storeCapture(key string, col *matrixColumn, wire []byte, me
 		Workload:  col.workload,
 		Threads:   col.threads,
 		SetupOps:  col.setupOps,
+		Txs:       col.capturedTxs,
 		TraceHash: col.hash,
 		Metrics:   met,
 	}
@@ -162,24 +375,27 @@ func (cc *cellCache) storeCapture(key string, col *matrixColumn, wire []byte, me
 	return cc.enforceMax()
 }
 
-func (cc *cellCache) loadReplay(key string) (Metrics, bool) {
+// loadMetrics is the shared read path of the metrics-valued kinds.
+func (cc *cellCache) loadMetrics(key, kind string) (Metrics, bool) {
 	raw, err := os.ReadFile(filepath.Join(cc.dir, key+".json"))
 	if err != nil {
-		cc.misses++
+		cc.stat().Misses++
 		return Metrics{}, false
 	}
-	var e replayEntry
-	if err := json.Unmarshal(raw, &e); err != nil || e.Schema != cacheSchema {
-		cc.misses++
+	var e metricsEntry
+	if err := json.Unmarshal(raw, &e); err != nil || e.Schema != cacheSchema || e.Kind != kind {
+		cc.stat().Misses++
 		return Metrics{}, false
 	}
-	cc.hits++
+	s := cc.stat()
+	s.Hits++
+	s.BytesRead += int64(len(raw))
 	cc.markUsed(key)
 	return e.Metrics, true
 }
 
-func (cc *cellCache) storeReplay(key, scheme string, met Metrics) error {
-	data, err := json.Marshal(replayEntry{Schema: cacheSchema, Scheme: scheme, Metrics: met})
+func (cc *cellCache) storeMetrics(key, kind, scheme string, met Metrics) error {
+	data, err := json.Marshal(metricsEntry{Schema: cacheSchema, Kind: kind, Scheme: scheme, Metrics: met})
 	if err != nil {
 		return fmt.Errorf("harness: cache: %w", err)
 	}
@@ -273,6 +489,7 @@ func (cc *cellCache) enforceMax() error {
 			os.Remove(filepath.Join(cc.dir, f))
 		}
 		total -= g.size
+		cc.stat().Evictions++
 	}
 	return nil
 }
@@ -297,5 +514,84 @@ func (cc *cellCache) writeFile(name string, data []byte) error {
 		os.Remove(tmp.Name())
 		return fmt.Errorf("harness: cache: %w", err)
 	}
+	cc.stat().BytesWritten += int64(len(data))
 	return nil
+}
+
+// CacheInventory summarizes what lives in a cell cache directory without
+// running anything (the hoopbench -cachestats flag).
+type CacheInventory struct {
+	Entries    map[string]int // kind -> sidecar count
+	TraceBytes int64          // bytes in .trc files
+	TotalBytes int64
+	TempFiles  int
+}
+
+// ReadCacheInventory scans dir and classifies every entry by kind.
+func ReadCacheInventory(dir string) (*CacheInventory, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("harness: -cachestats: %w", err)
+	}
+	inv := &CacheInventory{Entries: map[string]int{}}
+	for _, ent := range ents {
+		if ent.IsDir() {
+			continue
+		}
+		name := ent.Name()
+		info, err := ent.Info()
+		if err != nil {
+			continue
+		}
+		inv.TotalBytes += info.Size()
+		if strings.Contains(name, ".tmp") {
+			inv.TempFiles++
+			continue
+		}
+		switch filepath.Ext(name) {
+		case ".trc":
+			inv.TraceBytes += info.Size()
+		case ".json":
+			raw, err := os.ReadFile(filepath.Join(dir, name))
+			if err != nil {
+				continue
+			}
+			var probe struct {
+				Schema   string `json:"schema"`
+				Kind     string `json:"kind"`
+				Workload string `json:"workload"`
+			}
+			if json.Unmarshal(raw, &probe) != nil || !strings.HasPrefix(probe.Schema, "hoop-cellcache/") {
+				inv.Entries["foreign"]++
+				continue
+			}
+			kind := probe.Kind
+			if kind == "" {
+				kind = kindCapture
+			}
+			inv.Entries[kind]++
+		}
+	}
+	return inv, nil
+}
+
+// String renders the inventory as a one-screen summary.
+func (inv *CacheInventory) String() string {
+	var b strings.Builder
+	kinds := make([]string, 0, len(inv.Entries))
+	for k := range inv.Entries {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	total := 0
+	for _, k := range kinds {
+		fmt.Fprintf(&b, "  %-12s %d entries\n", k+":", inv.Entries[k])
+		total += inv.Entries[k]
+	}
+	fmt.Fprintf(&b, "  %-12s %d entries, %s of traces, %s total", "all:", total,
+		fmtBytes(inv.TraceBytes), fmtBytes(inv.TotalBytes))
+	if inv.TempFiles > 0 {
+		fmt.Fprintf(&b, ", %d orphaned temp files", inv.TempFiles)
+	}
+	return b.String()
 }

@@ -6,6 +6,7 @@ import (
 	"reflect"
 	"strings"
 	"testing"
+	"time"
 
 	"hoop/internal/engine"
 	"hoop/internal/workload"
@@ -160,6 +161,151 @@ func TestCellCacheLRUEviction(t *testing.T) {
 	}
 	if !reflect.DeepEqual(coldA.Cells, rerunA.Cells) {
 		t.Fatal("re-executed metrics diverge from the pre-eviction run")
+	}
+}
+
+// TestCellCachePrefixSharedCapture: a capture cached at a large
+// transaction count serves a later matrix at a smaller count without
+// re-capturing — the first scheme's cell prefix-replays instead — and the
+// small run's numbers are bit-identical to an uncached small run.
+func TestCellCachePrefixSharedCapture(t *testing.T) {
+	dir := t.TempDir()
+	wls := []workload.Workload{quickWL("queue")}
+	schemes := []string{engine.SchemeRedo, engine.SchemeHOOP, engine.SchemeNative}
+	big := Options{Quick: true, Seed: 3, Workers: 1, CacheDir: dir, TxsPerCell: 400}
+
+	cold, err := RunMatrixOn(big, wls, schemes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.Captures != 1 || cold.CapturesRun != 1 {
+		t.Fatalf("cold run: %d captures, %d executed; want 1 and 1", cold.Captures, cold.CapturesRun)
+	}
+
+	small := big
+	small.TxsPerCell = 150
+	prefix, err := RunMatrixOn(small, wls, schemes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prefix.CapturesRun != 0 {
+		t.Fatalf("prefix run re-captured %d columns despite a longer cached capture", prefix.CapturesRun)
+	}
+	nocache := small
+	nocache.CacheDir = ""
+	direct, err := RunMatrixOn(nocache, wls, schemes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(prefix.Cells, direct.Cells) {
+		t.Fatalf("prefix-replayed matrix diverges from uncached run\nprefix: %+v\ndirect: %+v", prefix.Cells, direct.Cells)
+	}
+
+	// A warm rerun at the small count comes entirely from cache.
+	warm, err := RunMatrixOn(small, wls, schemes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Stats.Cached != warm.Stats.Cells || warm.CapturesRun != 0 {
+		t.Fatalf("warm prefix rerun cached %d/%d cells, executed %d captures", warm.Stats.Cached, warm.Stats.Cells, warm.CapturesRun)
+	}
+	if !reflect.DeepEqual(prefix.Cells, warm.Cells) {
+		t.Fatal("warm prefix rerun diverges from its own cold pass")
+	}
+
+	// Asking for more transactions than any cached capture covers must
+	// re-capture (and the grown capture then serves the big count again).
+	bigger := big
+	bigger.TxsPerCell = 600
+	grown, err := RunMatrixOn(bigger, wls, schemes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if grown.CapturesRun != 1 {
+		t.Fatalf("larger-txs run executed %d captures, want 1 (cached capture too short)", grown.CapturesRun)
+	}
+}
+
+// TestCellCacheSweepsStaleTemps: opening the cache removes temp files
+// orphaned by a dead run, but leaves fresh ones (a concurrent run may
+// still be mid-rename) and real entries alone.
+func TestCellCacheSweepsStaleTemps(t *testing.T) {
+	dir := t.TempDir()
+	stale := filepath.Join(dir, "abc.json.tmp123")
+	fresh := filepath.Join(dir, "def.trc.tmp456")
+	entry := filepath.Join(dir, "0ff.json")
+	for _, p := range []string{stale, fresh, entry} {
+		if err := os.WriteFile(p, []byte("x"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	old := time.Now().Add(-2 * staleTempAge)
+	if err := os.Chtimes(stale, old, old); err != nil {
+		t.Fatal(err)
+	}
+	cc, err := openCellCache(Options{CacheDir: dir})
+	if err != nil || cc == nil {
+		t.Fatalf("openCellCache: %v (%v)", cc, err)
+	}
+	if _, err := os.Stat(stale); !os.IsNotExist(err) {
+		t.Errorf("stale temp file survived the sweep: %v", err)
+	}
+	for _, p := range []string{fresh, entry} {
+		if _, err := os.Stat(p); err != nil {
+			t.Errorf("sweep removed %s: %v", filepath.Base(p), err)
+		}
+	}
+}
+
+// TestContentionCacheWarmRerun: the contention sweep memoizes per-cell,
+// so a warm rerun reads every cell from cache and renders identical
+// grids — the section-generic half of the -cachedir contract.
+func TestContentionCacheWarmRerun(t *testing.T) {
+	opts := Options{Quick: true, Seed: 3, Workers: 2, CacheDir: t.TempDir()}
+	cache, err := opts.ensureCache()
+	if err != nil {
+		t.Fatal(err)
+	}
+	coldT, coldA, err := ContentionFigure(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coldHits := cache.stat().Hits
+	warmT, warmA, err := ContentionFigure(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := cache.stat()
+	cells := len(coldT.Rows) * len(coldT.Cols)
+	if s.Hits-coldHits != cells {
+		t.Fatalf("warm contention rerun hit %d cells, want all %d", s.Hits-coldHits, cells)
+	}
+	if !reflect.DeepEqual(coldT, warmT) || !reflect.DeepEqual(coldA, warmA) {
+		t.Fatal("warm contention grids diverge from cold run")
+	}
+}
+
+// TestWearCacheWarmRerun: the wear report caches as a blob (kindWear).
+func TestWearCacheWarmRerun(t *testing.T) {
+	opts := Options{Quick: true, Seed: 3, CacheDir: t.TempDir(),
+		WL: workload.Options{Keys: 4096, ValBytes: 64}}
+	cache, err := opts.ensureCache()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := Wear(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := Wear(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cache.stat().Hits != 1 {
+		t.Fatalf("warm wear rerun recorded %d hits, want 1", cache.stat().Hits)
+	}
+	if !reflect.DeepEqual(cold, warm) {
+		t.Fatalf("cached wear report diverges\ncold: %+v\nwarm: %+v", cold, warm)
 	}
 }
 

@@ -163,6 +163,58 @@ func RunCells(cells []Cell, workers int) ([]Metrics, CellStats, error) {
 	return results, stats, nil
 }
 
+// runCellsCached is RunCells behind the run's cell cache: direct cells
+// whose full inputs (workload + options, seed, txs, post-Mut config) are
+// memoized skip execution, everything else goes through the normal worker
+// pool and is stored afterwards. Every non-matrix section (TableIV, the
+// GC/latency/map-size sweeps, ablation) runs through here, which is what
+// makes the -cachedir flag section-generic rather than matrix-only.
+// Results are byte-identical with and without the cache.
+func runCellsCached(cells []Cell, opts Options) ([]Metrics, CellStats, error) {
+	cache, err := opts.ensureCache()
+	if err != nil {
+		return nil, CellStats{}, err
+	}
+	if cache == nil {
+		return RunCells(cells, opts.workers())
+	}
+	mets := make([]Metrics, len(cells))
+	keys := make([]string, len(cells))
+	var batch []Cell
+	var batchIdx []int
+	cached := 0
+	for i, c := range cells {
+		if key, ok := cache.directKey(c); ok {
+			keys[i] = key
+			if met, hit := cache.loadMetrics(key, kindDirect); hit {
+				mets[i] = met
+				cached++
+				continue
+			}
+		}
+		batch = append(batch, c)
+		batchIdx = append(batchIdx, i)
+	}
+	res, stats, err := RunCells(batch, opts.workers())
+	if err != nil {
+		return nil, stats, err
+	}
+	for k, i := range batchIdx {
+		mets[i] = res[k]
+		if keys[i] != "" {
+			if err := cache.storeMetrics(keys[i], kindDirect, cells[i].Scheme, res[k]); err != nil {
+				return nil, stats, err
+			}
+		}
+	}
+	stats.Cells = len(cells)
+	stats.Cached = cached
+	if stats.Workers == 0 {
+		stats.Workers = opts.workers()
+	}
+	return mets, stats, nil
+}
+
 // buildSystem constructs a paper-default system with the given scheme,
 // applying mut (which may be nil) before construction.
 func buildSystem(scheme string, mut func(*engine.Config)) (*engine.System, error) {

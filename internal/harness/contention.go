@@ -116,6 +116,48 @@ func runContentionCells(cells []contentionCell, workers int) ([]Metrics, error) 
 	return results, nil
 }
 
+// runContentionCellsCached is runContentionCells behind the run's cell
+// cache (kindContention entries): memoized cells skip execution, misses
+// run on the normal pool and are stored afterwards. Results are
+// byte-identical with and without the cache.
+func runContentionCellsCached(cells []contentionCell, opts Options) ([]Metrics, error) {
+	cache, err := opts.ensureCache()
+	if err != nil {
+		return nil, err
+	}
+	if cache == nil {
+		return runContentionCells(cells, opts.workers())
+	}
+	mets := make([]Metrics, len(cells))
+	keys := make([]string, len(cells))
+	var batch []contentionCell
+	var batchIdx []int
+	for i, c := range cells {
+		if key, ok := cache.contentionKey(c); ok {
+			keys[i] = key
+			if met, hit := cache.loadMetrics(key, kindContention); hit {
+				mets[i] = met
+				continue
+			}
+		}
+		batch = append(batch, c)
+		batchIdx = append(batchIdx, i)
+	}
+	res, err := runContentionCells(batch, opts.workers())
+	if err != nil {
+		return nil, err
+	}
+	for k, i := range batchIdx {
+		mets[i] = res[k]
+		if keys[i] != "" {
+			if err := cache.storeMetrics(keys[i], kindContention, cells[i].scheme, res[k]); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return mets, nil
+}
+
 // contentionColName renders one sweep point.
 func contentionColName(theta float64, threads int) string {
 	return fmt.Sprintf("z%.1f/t%d", theta, threads)
@@ -145,7 +187,7 @@ func ContentionFigure(opts Options) (*Grid, *Grid, error) {
 			}
 		}
 	}
-	metrics, err := runContentionCells(cells, opts.workers())
+	metrics, err := runContentionCellsCached(cells, opts)
 	if err != nil {
 		return nil, nil, err
 	}

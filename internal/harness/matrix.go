@@ -18,6 +18,12 @@ type Matrix struct {
 	// Stats describes the worker-pool execution of the matrix (wall-clock,
 	// not simulated time).
 	Stats CellStats
+	// Captures is how many workload captures serve the matrix's cells
+	// under the replay pipeline (one per workload column); CapturesRun is
+	// how many of them actually executed this run rather than being
+	// restored from the cell cache. Both zero under -directmatrix.
+	Captures    int
+	CapturesRun int
 }
 
 // RunMatrix measures every paper workload on every scheme, or the suite
@@ -53,7 +59,7 @@ func runMatrixDirect(opts Options, workloads []workload.Workload, schemes []stri
 		}
 	}
 	opts.attachTrace("matrix", cells)
-	mets, stats, err := RunCells(cells, opts.workers())
+	mets, stats, err := runCellsCached(cells, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -68,7 +74,7 @@ func runMatrixDirect(opts Options, workloads []workload.Workload, schemes []stri
 // memoized. Cache I/O and column finalization happen on this goroutine,
 // between batches, so workers share columns read-only.
 func runMatrixReplay(opts Options, workloads []workload.Workload, schemes []string) (*Matrix, error) {
-	cache, err := openCellCache(opts)
+	cache, err := opts.ensureCache()
 	if err != nil {
 		return nil, err
 	}
@@ -87,21 +93,29 @@ func runMatrixReplay(opts Options, workloads []workload.Workload, schemes []stri
 	cols := make([]*matrixColumn, len(workloads))
 	cached := 0
 
-	// Stage 1: one capture cell per column.
+	// Stage 1: one capture cell per column. A cached capture taken at a
+	// larger transaction count still serves this matrix — the first
+	// scheme's cell then joins stage 2 and replays a committed-tx prefix
+	// instead of reusing the longer window's metrics.
 	var batch []Cell
 	var batchIdx []int
 	for i := range workloads {
 		ci := i * ns
-		col := &matrixColumn{workload: workloads[i].Name}
+		col := &matrixColumn{workload: workloads[i].Name, capturedTxs: cells[ci].Txs}
 		cols[i] = col
 		if cache != nil {
 			if key, ok := cache.captureKey(cells[ci]); ok {
 				col.capKey = key
-				if ent, hit := cache.loadCapture(key, workloads[i].Name); hit {
-					mets[ci] = ent.Metrics
+				if ent, hit := cache.loadCapture(key, workloads[i].Name, cells[ci].Txs); hit {
 					col.threads, col.setupOps, col.hash = ent.Threads, ent.SetupOps, ent.TraceHash
 					col.tracePath = cache.tracePath(key)
-					cached++
+					col.capturedTxs = ent.Txs
+					if ent.Txs == cells[ci].Txs {
+						mets[ci] = ent.Metrics
+						cached++
+					} else {
+						col.replayFirst = true
+					}
 					continue
 				}
 			}
@@ -122,6 +136,7 @@ func runMatrixReplay(opts Options, workloads []workload.Workload, schemes []stri
 	if err != nil {
 		return nil, err
 	}
+	capturesRun := len(batch)
 	for k, ci := range batchIdx {
 		mets[ci] = res[k]
 	}
@@ -140,18 +155,24 @@ func runMatrixReplay(opts Options, workloads []workload.Workload, schemes []stri
 		}
 	}
 
-	// Stage 2: replay every capture against the remaining schemes.
+	// Stage 2: replay every capture against the remaining schemes (and
+	// against the first scheme too when the capture came from the cache
+	// at a larger transaction count).
 	batch, batchIdx = batch[:0], batchIdx[:0]
 	var batchKey []string
 	for i := range workloads {
 		col := cols[i]
-		for j := 1; j < ns; j++ {
+		first := 1
+		if col.replayFirst {
+			first = 0
+		}
+		for j := first; j < ns; j++ {
 			ci := i*ns + j
 			key := ""
 			if cache != nil {
 				if k, ok := cache.replayKey(cells[ci], col); ok {
 					key = k
-					if met, hit := cache.loadReplay(k); hit {
+					if met, hit := cache.loadMetrics(k, kindReplay); hit {
 						mets[ci] = met
 						cached++
 						continue
@@ -182,7 +203,7 @@ func runMatrixReplay(opts Options, workloads []workload.Workload, schemes []stri
 	for k, ci := range batchIdx {
 		mets[ci] = res[k]
 		if cache != nil && batchKey[k] != "" {
-			if err := cache.storeReplay(batchKey[k], cells[ci].Scheme, res[k]); err != nil {
+			if err := cache.storeMetrics(batchKey[k], kindReplay, cells[ci].Scheme, res[k]); err != nil {
 				return nil, err
 			}
 		}
@@ -194,7 +215,9 @@ func runMatrixReplay(opts Options, workloads []workload.Workload, schemes []stri
 	if stats.Workers == 0 {
 		stats.Workers = opts.workers()
 	}
-	return assembleMatrix(cells, mets, stats, schemes), nil
+	m := assembleMatrix(cells, mets, stats, schemes)
+	m.Captures, m.CapturesRun = len(workloads), capturesRun
+	return m, nil
 }
 
 // assembleMatrix indexes per-cell metrics into the workload × scheme map.

@@ -65,6 +65,28 @@ type Options struct {
 	// magnitude more data than a 64 B one, so sweep cells need far fewer
 	// transactions for a stable mean.
 	TxsPerCell int
+
+	// cache is the run's open cell cache, shared by every section once
+	// ensureCache opened it. Options is copied by value throughout the
+	// harness; the pointer travels with the copies, so RunSections opens
+	// the cache once and every section (and its hit/miss accounting)
+	// shares it.
+	cache *cellCache
+}
+
+// ensureCache opens the cell cache on first use (nil when caching is
+// off). Sections called standalone get their own instance; RunSections
+// pre-opens one so all sections share accounting and eviction pinning.
+func (o *Options) ensureCache() (*cellCache, error) {
+	if o.cache != nil {
+		return o.cache, nil
+	}
+	cc, err := openCellCache(*o)
+	if err != nil {
+		return nil, err
+	}
+	o.cache = cc
+	return cc, nil
 }
 
 // workers resolves the effective worker count (<=0 → GOMAXPROCS).

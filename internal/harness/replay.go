@@ -6,6 +6,7 @@ import (
 	"encoding/hex"
 	"fmt"
 	"os"
+	"sync"
 
 	"hoop/internal/engine"
 	"hoop/internal/telemetry"
@@ -46,6 +47,12 @@ type matrixColumn struct {
 	cap       *workload.Captured
 	capKey    string
 	tracePath string
+	// capturedTxs is the transaction count the capture was measured at.
+	// A cached capture may cover more transactions than this matrix
+	// needs; replayFirst marks the first scheme's cell for prefix replay
+	// in that case (its stored metrics describe the longer window).
+	capturedTxs int
+	replayFirst bool
 }
 
 // finalizeFromCapture derives the replay inputs from a fresh capture.
@@ -149,31 +156,9 @@ func captureCellRun(c Cell) (Metrics, *workload.Captured, *engine.System, error)
 	return met, cap, sys, nil
 }
 
-// replayRunner feeds one thread's recorded transactions to the engine,
-// one segment per RunTx call, exactly as the direct runner would have
-// issued them.
-type replayRunner struct {
-	workload string
-	thread   int
-	txs      [][]trace.Op
-	next     int
-	buf      []byte
-}
-
-func (r *replayRunner) RunTx(env *engine.Env) {
-	if r.next >= len(r.txs) {
-		panic(fmt.Sprintf("harness: %s replay ran thread %d dry after %d recorded transactions (capture padding too small)",
-			r.workload, r.thread, r.next))
-	}
-	for _, op := range r.txs[r.next] {
-		var err error
-		r.buf, err = trace.ApplyOp(env, op, r.buf)
-		if err != nil {
-			panic(err)
-		}
-	}
-	r.next++
-}
+// cursorPool recycles replay cursors (and their load scratch buffers)
+// across replay cells, so a 49-cell matrix allocates its cursors once.
+var cursorPool = sync.Pool{New: func() any { return new(trace.Cursor) }}
 
 // replayCellRun executes one replay cell: the column's setup stream in
 // recorded order, then the standard measurement window driven by replay
@@ -196,9 +181,17 @@ func replayCellRun(c Cell, col *matrixColumn) (met Metrics, sys *engine.System, 
 	}
 	sys.SyncClocks()
 	runners := make([]engine.TxRunner, col.threads)
+	cursors := make([]*trace.Cursor, col.threads)
 	for t := range runners {
-		runners[t] = &replayRunner{workload: col.workload, thread: t, txs: col.measured[t]}
+		cur := cursorPool.Get().(*trace.Cursor)
+		cur.Reset(col.workload, t, col.measured[t])
+		cursors[t] = cur
+		runners[t] = cur
 	}
 	met = measureWindow(sys, runners, c.Txs, c.Sink, c.SinkMask)
+	for _, cur := range cursors {
+		cur.Reset("", 0, nil)
+		cursorPool.Put(cur)
+	}
 	return met, sys, nil
 }

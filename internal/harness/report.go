@@ -58,8 +58,16 @@ func RunSections(w io.Writer, opts Options, sections []string) (*Report, error) 
 		want[s] = true
 	}
 	rep := &Report{}
-	stamp := func(name string) func() {
+	// Open the cell cache once so every section shares one instance (and
+	// its per-section hit/miss accounting); sections re-fetch it through
+	// opts.ensureCache and get this same pointer.
+	cache, err := opts.ensureCache()
+	if err != nil {
+		return rep, err
+	}
+	stamp := func(section, name string) func() {
 		start := time.Now()
+		cache.setSection(section)
 		fmt.Fprintf(w, "\n==== %s ====\n", name)
 		return func() { fmt.Fprintf(w, "(%s computed in %.1fs)\n", name, time.Since(start).Seconds()) }
 	}
@@ -77,7 +85,7 @@ func RunSections(w io.Writer, opts Options, sections []string) (*Report, error) 
 	}
 
 	if want["tables"] {
-		done := stamp("Tables I-III")
+		done := stamp("tables", "Tables I-III")
 		RenderTableI(w)
 		fmt.Fprintln(w)
 		RenderTableII(w, engine.DefaultConfig(engine.SchemeHOOP))
@@ -87,7 +95,7 @@ func RunSections(w io.Writer, opts Options, sections []string) (*Report, error) 
 	}
 
 	if want["fig7-9"] {
-		done := stamp("Figures 7a, 7b, 8, 9 (workload x scheme matrix)")
+		done := stamp("fig7-9", "Figures 7a, 7b, 8, 9 (workload x scheme matrix)")
 		m, err := RunMatrix(opts)
 		if err != nil {
 			return rep, err
@@ -119,6 +127,10 @@ func RunSections(w io.Writer, opts Options, sections []string) (*Report, error) 
 			rep.Profile.LLCMissRatio*100, rep.Profile.EvictBufHitFrac*100)
 		fmt.Fprint(w, FormatPhaseBreakdown(m))
 		fmt.Fprintf(w, "Matrix pool: %s\n", m.Stats)
+		if m.Captures > 0 {
+			fmt.Fprintf(w, "Matrix captures: %d captures for %d cells (executed %d)\n",
+				m.Captures, m.Stats.Cells, m.CapturesRun)
+		}
 		if opts.CacheDir != "" && !opts.DirectMatrix && opts.Trace == nil {
 			fmt.Fprintf(w, "Matrix cache: %d/%d cells cached (executed %d) in %s\n",
 				m.Stats.Cached, m.Stats.Cells, m.Stats.Cells-m.Stats.Cached, opts.CacheDir)
@@ -127,7 +139,7 @@ func RunSections(w io.Writer, opts Options, sections []string) (*Report, error) 
 	}
 
 	if want["tableIV"] {
-		done := stamp("Table IV (GC data reduction)")
+		done := stamp("tableIV", "Table IV (GC data reduction)")
 		g, err := TableIV(opts)
 		if err != nil {
 			return rep, err
@@ -138,7 +150,7 @@ func RunSections(w io.Writer, opts Options, sections []string) (*Report, error) 
 	}
 
 	if want["fig10"] {
-		done := stamp("Figure 10 (GC period sweep)")
+		done := stamp("fig10", "Figure 10 (GC period sweep)")
 		g, err := Figure10(opts)
 		if err != nil {
 			return rep, err
@@ -149,7 +161,7 @@ func RunSections(w io.Writer, opts Options, sections []string) (*Report, error) 
 	}
 
 	if want["fig11"] {
-		done := stamp("Figure 11 (parallel recovery)")
+		done := stamp("fig11", "Figure 11 (parallel recovery)")
 		g, rrep, err := Figure11(opts)
 		if err != nil {
 			return rep, err
@@ -162,7 +174,7 @@ func RunSections(w io.Writer, opts Options, sections []string) (*Report, error) 
 	}
 
 	if want["fig12"] {
-		done := stamp("Figure 12 (NVM latency sensitivity)")
+		done := stamp("fig12", "Figure 12 (NVM latency sensitivity)")
 		g, err := Figure12(opts)
 		if err != nil {
 			return rep, err
@@ -173,7 +185,7 @@ func RunSections(w io.Writer, opts Options, sections []string) (*Report, error) 
 	}
 
 	if want["fig13"] {
-		done := stamp("Figure 13 (mapping-table size sensitivity)")
+		done := stamp("fig13", "Figure 13 (mapping-table size sensitivity)")
 		g, err := Figure13(opts)
 		if err != nil {
 			return rep, err
@@ -184,7 +196,7 @@ func RunSections(w io.Writer, opts Options, sections []string) (*Report, error) 
 	}
 
 	if want["sweep-valsize"] {
-		done := stamp("Sweep: throughput vs value size (64 B - 64 KB)")
+		done := stamp("sweep-valsize", "Sweep: throughput vs value size (64 B - 64 KB)")
 		g, err := SweepValSize(opts)
 		if err != nil {
 			return rep, err
@@ -195,7 +207,7 @@ func RunSections(w io.Writer, opts Options, sections []string) (*Report, error) 
 	}
 
 	if want["sweep-scan"] {
-		done := stamp("Sweep: throughput vs range-scan fraction")
+		done := stamp("sweep-scan", "Sweep: throughput vs range-scan fraction")
 		g, err := SweepScanFrac(opts)
 		if err != nil {
 			return rep, err
@@ -206,7 +218,7 @@ func RunSections(w io.Writer, opts Options, sections []string) (*Report, error) 
 	}
 
 	if want["contention"] {
-		done := stamp("Contention sweep (cc policies: OCC vs wound-wait 2PL)")
+		done := stamp("contention", "Contention sweep (cc policies: OCC vs wound-wait 2PL)")
 		tput, aborts, err := ContentionFigure(opts)
 		if err != nil {
 			return rep, err
@@ -219,13 +231,13 @@ func RunSections(w io.Writer, opts Options, sections []string) (*Report, error) 
 	}
 
 	if want["area"] {
-		done := stamp("Area overhead (§III-H)")
+		done := stamp("area", "Area overhead (§III-H)")
 		RenderArea(w)
 		done()
 	}
 
 	if want["ablation"] {
-		done := stamp("Ablation (packing / coalescing / condensed mapping)")
+		done := stamp("ablation", "Ablation (packing / coalescing / condensed mapping)")
 		g, err := Ablation(opts)
 		if err != nil {
 			return rep, err
@@ -235,7 +247,7 @@ func RunSections(w io.Writer, opts Options, sections []string) (*Report, error) 
 	}
 
 	if want["wear"] {
-		done := stamp("Uniform wear (§III-D)")
+		done := stamp("wear", "Uniform wear (§III-D)")
 		rep2, err := Wear(opts)
 		if err != nil {
 			return rep, err
@@ -245,7 +257,7 @@ func RunSections(w io.Writer, opts Options, sections []string) (*Report, error) 
 	}
 
 	if want["fig7-9-1k"] {
-		done := stamp("Figures 7-9 on the 1 KB-item data sets")
+		done := stamp("fig7-9-1k", "Figures 7-9 on the 1 KB-item data sets")
 		m, err := RunMatrixOn(opts, workload.LargeItemSuite(opts.WL), engine.AllSchemes)
 		if err != nil {
 			return rep, err
@@ -254,6 +266,9 @@ func RunSections(w io.Writer, opts Options, sections []string) (*Report, error) 
 		fmt.Fprintln(w)
 		render("figure8-1k", Figure8(m))
 		done()
+	}
+	if s := cache.statsReport(); s != "" {
+		fmt.Fprintf(w, "\n%s", s)
 	}
 	return rep, nil
 }

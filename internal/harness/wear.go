@@ -47,12 +47,26 @@ func WearOn(opts Options, scheme string) (WearReport, error) {
 	if opts.Quick {
 		txs = 100000
 	}
-	sys, err := buildSystem(scheme, func(c *engine.Config) {
+	mut := func(c *engine.Config) {
 		// A small region so blocks recycle many times within the run.
 		c.OOPBytes = 96 << 20
 		c.Hoop.CommitLogBytes = 1 << 20
 		c.Hoop.GCPeriod = 500 * sim.Microsecond
-	})
+	}
+	cache, err := opts.ensureCache()
+	if err != nil {
+		return WearReport{}, err
+	}
+	var key string
+	if cache != nil {
+		if k, ok := cache.wearKey(scheme, mut, txs, opts); ok {
+			key = k
+			if rep, hit := cache.loadWear(k); hit {
+				return rep, nil
+			}
+		}
+	}
+	sys, err := buildSystem(scheme, mut)
 	if err != nil {
 		return WearReport{}, err
 	}
@@ -96,6 +110,11 @@ func WearOn(opts Options, scheme string) (WearReport, error) {
 	_, _, _, homeTotal := dev.WearInRegion(layout.Home)
 	if total > 0 {
 		rep.HomeOOPRatio = float64(homeTotal) / float64(total)
+	}
+	if key != "" {
+		if err := cache.storeWear(key, scheme, rep); err != nil {
+			return WearReport{}, err
+		}
 	}
 	return rep, nil
 }

@@ -60,7 +60,10 @@ func (r *Recorder) record(op Op) {
 
 // opFromEvent converts one per-op telemetry event into a trace Op.
 // ok is false for kinds outside RecordMask; err is set when the event
-// cannot be represented (core outside the uint16 thread field).
+// cannot be represented (core outside the uint16 thread field). The
+// returned op's Data aliases e.Data, which is only valid for the duration
+// of Emit — callers that keep the op must copy (OpSink's arena) or encode
+// immediately (Recorder's writer).
 func opFromEvent(e telemetry.Event) (op Op, ok bool, err error) {
 	if e.Core < 0 || int64(e.Core) > 0xFFFF {
 		// The format's thread field is uint16; wrapping would route ops
@@ -78,9 +81,7 @@ func opFromEvent(e telemetry.Event) (op Op, ok bool, err error) {
 	case telemetry.KindLoad:
 		return Op{Kind: OpLoad, Thread: th, Addr: e.Addr, Size: uint32(e.Bytes)}, true, nil
 	case telemetry.KindStore:
-		cp := make([]byte, len(e.Data))
-		copy(cp, e.Data)
-		return Op{Kind: OpStore, Thread: th, Addr: e.Addr, Size: uint32(len(e.Data)), Data: cp}, true, nil
+		return Op{Kind: OpStore, Thread: th, Addr: e.Addr, Size: uint32(len(e.Data)), Data: e.Data}, true, nil
 	case telemetry.KindScan:
 		// Scan ops reuse the header fields for accounting: Size is the
 		// item count (Aux), Addr the value bytes the scan read (Bytes).
@@ -110,10 +111,14 @@ var _ telemetry.Sink = (*Recorder)(nil)
 // OpSink is a telemetry.Sink that collects ops in memory, skipping the
 // wire encoding entirely — the capture stage of the matrix pipeline uses
 // it so recording costs one struct append per op instead of an encode
-// plus a later decode. Same sticky-error contract as Recorder.
+// plus a later decode. Store payloads are copied into a grow-only arena
+// (events only alias the written bytes during Emit), so collection does
+// one bulk allocation per 64 KiB of payload rather than one per store.
+// Same sticky-error contract as Recorder.
 type OpSink struct {
-	Ops []Op
-	err error
+	Ops   []Op
+	arena byteArena
+	err   error
 }
 
 // Emit implements telemetry.Sink.
@@ -127,6 +132,11 @@ func (s *OpSink) Emit(e telemetry.Event) {
 		return
 	}
 	if ok {
+		if len(op.Data) > 0 {
+			cp := s.arena.alloc(len(op.Data))
+			copy(cp, op.Data)
+			op.Data = cp
+		}
 		s.Ops = append(s.Ops, op)
 	}
 }

@@ -6,11 +6,13 @@
 // simulator. This mirrors how the paper's platform consumed Pin-captured
 // application traces.
 //
-// Format v2 adds transaction aborts (OpTxAbort) and widens the thread
-// field to uint16. Format v3 adds range-scan accounting ops (OpScan). The
-// Reader still accepts older versions, except streams that claim to carry
-// ops their version predates (an abort in v1, a scan in v1/v2): those can
-// only be corruption and are rejected.
+// Format v2 added transaction aborts (OpTxAbort) and widened the thread
+// field to uint16. Format v3 is the compact format: ops are grouped into
+// chunks whose header stream is varint/delta-encoded and deflated, while
+// bulk store payloads live in a separate uncompressed data arena (see
+// wire3.go). The Reader still accepts older versions, except streams that
+// claim to carry ops their version predates (an abort in v1, a scan in
+// v1/v2): those can only be corruption and are rejected.
 package trace
 
 import (
@@ -29,11 +31,12 @@ const (
 	OpLoad
 	OpStore
 	OpTxAbort // v2 and later
-	OpScan    // v3 only
+	OpScan    // v3 and later
 )
 
 // Op is one traced operation. Thread identifies the issuing workload
-// thread; Data is present only for stores.
+// thread; Data is present only for stores. Ops decoded from a v3 stream
+// alias the Reader's internal arenas: treat Data as read-only.
 type Op struct {
 	Kind   byte
 	Thread uint16
@@ -62,12 +65,13 @@ func (o Op) String() string {
 }
 
 // Magic and versions of the binary format. The file header is 8 bytes:
-// magic u32le, version u32le. Each op follows as a fixed header plus, for
-// stores, Size bytes of inline data. The v1 op header is 14 bytes (kind
-// u8, thread u8, addr u64le, size u32le); v2 and v3 are 15 bytes (kind u8,
-// thread u16le, addr u64le, size u32le). Scan ops (v3) reuse the header
-// fields for accounting: Size carries the item count and Addr the total
-// value bytes the scan read.
+// magic u32le, version u32le. In v1/v2 each op follows as a fixed header
+// plus, for stores, Size bytes of inline data: the v1 op header is
+// 14 bytes (kind u8, thread u8, addr u64le, size u32le), v2's is 15 bytes
+// (kind u8, thread u16le, addr u64le, size u32le). v3 is the compact
+// chunked format defined in wire3.go. Scan ops reuse the header fields for
+// accounting: Size carries the item count and Addr the total value bytes
+// the scan read.
 const (
 	magic      = 0x484F5452 // "HOTR"
 	version1   = 1
@@ -78,11 +82,20 @@ const (
 	opHeaderV2 = 15
 )
 
+// maxStoreSize bounds a single store's payload; anything larger in a
+// stream is treated as corruption.
+const maxStoreSize = 1 << 20
+
 // Writer streams ops into an io.Writer, always in the current (v3) format.
+// Ops accumulate into an in-memory chunk that is emitted when it reaches
+// the chunk target or on Flush, so memory stays bounded for arbitrarily
+// long recordings. Write copies what it needs from op.Data before
+// returning, so callers may reuse their buffers.
 type Writer struct {
 	w       *bufio.Writer
 	started bool
 	count   int64
+	enc     wire3Enc
 }
 
 // NewWriter wraps w.
@@ -106,37 +119,41 @@ func (t *Writer) Write(op Op) error {
 		}
 		t.started = true
 	}
-	var h [opHeaderV2]byte
-	h[0] = op.Kind
-	binary.LittleEndian.PutUint16(h[1:], op.Thread)
-	binary.LittleEndian.PutUint64(h[3:], uint64(op.Addr))
-	binary.LittleEndian.PutUint32(h[11:], op.Size)
-	if _, err := t.w.Write(h[:]); err != nil {
-		return err
-	}
-	if op.Kind == OpStore {
+	switch op.Kind {
+	case OpTxBegin, OpTxEnd, OpTxAbort, OpLoad, OpScan:
+	case OpStore:
 		if uint32(len(op.Data)) != op.Size {
 			return fmt.Errorf("trace: store op with %d data bytes but size %d", len(op.Data), op.Size)
 		}
-		if _, err := t.w.Write(op.Data); err != nil {
-			return err
+		if op.Size > maxStoreSize {
+			return fmt.Errorf("trace: unreasonable store size %d", op.Size)
 		}
+	default:
+		return fmt.Errorf("trace: unknown op kind %d", op.Kind)
 	}
+	t.enc.encode(op)
 	t.count++
+	if t.enc.pendingBytes() >= chunkTarget {
+		return t.enc.emitChunk(t.w)
+	}
 	return nil
 }
 
 // Count reports ops written.
 func (t *Writer) Count() int64 { return t.count }
 
-// Flush drains the buffer; call before closing the underlying writer.
-// Flushing mid-stream is fine: the Writer keeps appending afterwards.
+// Flush emits the pending chunk and drains the buffer; call before closing
+// the underlying writer. Flushing mid-stream is fine: the Writer keeps
+// appending afterwards (each flush just closes a chunk).
 func (t *Writer) Flush() error {
 	if !t.started {
 		if err := t.header(); err != nil {
 			return err
 		}
 		t.started = true
+	}
+	if err := t.enc.emitChunk(t.w); err != nil {
+		return err
 	}
 	return t.w.Flush()
 }
@@ -146,6 +163,7 @@ type Reader struct {
 	r       *bufio.Reader
 	started bool
 	ver     uint32
+	dec     wire3Dec
 }
 
 // NewReader wraps r.
@@ -178,6 +196,14 @@ func (t *Reader) Read() (Op, error) {
 		}
 		t.started = true
 	}
+	if t.ver == version3 {
+		return t.dec.read(t.r)
+	}
+	return t.readFixed()
+}
+
+// readFixed decodes one op of the fixed-header v1/v2 formats.
+func (t *Reader) readFixed() (Op, error) {
 	var h [opHeaderV2]byte
 	n := opHeaderV2
 	if t.ver == version1 {
@@ -212,11 +238,9 @@ func (t *Reader) Read() (Op, error) {
 			return Op{}, fmt.Errorf("trace: v1 trace carries a tx-abort op; the v1 format predates aborts, so the trace is corrupt — re-record it with the current writer")
 		}
 	case OpScan:
-		if t.ver < version3 {
-			return Op{}, fmt.Errorf("trace: v%d trace carries a scan op; the v%d format predates scans, so the trace is corrupt — re-record it with the current writer", t.ver, t.ver)
-		}
+		return Op{}, fmt.Errorf("trace: v%d trace carries a scan op; the v%d format predates scans, so the trace is corrupt — re-record it with the current writer", t.ver, t.ver)
 	case OpStore:
-		if op.Size > 1<<20 {
+		if op.Size > maxStoreSize {
 			return Op{}, fmt.Errorf("trace: unreasonable store size %d", op.Size)
 		}
 		op.Data = make([]byte, op.Size)

@@ -249,8 +249,14 @@ func (f *failAfter) Write(p []byte) (int, error) {
 
 func TestRecorderErrorIsSticky(t *testing.T) {
 	rec := NewRecorder(&failAfter{n: 16})
+	// Varied payloads defeat the v3 compactor (dict/delta), so encoded
+	// bytes accumulate and force a chunk emit well before 8192 events.
 	for i := 0; i < 8192; i++ {
-		rec.Emit(telemetry.Event{Kind: telemetry.KindStore, Core: 0, Addr: 8, Data: make([]byte, 64)})
+		data := make([]byte, 64)
+		for w := 0; w < 8; w++ {
+			binary.LittleEndian.PutUint64(data[w*8:], (uint64(i)*8+uint64(w)+1)*0x9E3779B97F4A7C15)
+		}
+		rec.Emit(telemetry.Event{Kind: telemetry.KindStore, Core: 0, Addr: 8, Data: data})
 	}
 	if rec.Err() == nil {
 		t.Fatal("writer failure must surface from Err")
